@@ -1,0 +1,182 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus the DESIGN.md ablations. Each benchmark exercises the same code
+// path as the full experiment at a reduced scale (small population, few
+// repetitions) so `go test -bench=.` finishes in minutes on one core;
+// cmd/experiments runs the full-scale versions.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchRunner builds a Runner with a small cached population. The
+// population build (the expensive, uninteresting part) is triggered before
+// the timer via the warm function.
+func benchRunner(b *testing.B, circuits []string, pop int) *experiments.Runner {
+	b.Helper()
+	return experiments.NewRunner(experiments.Config{
+		Circuits: circuits,
+		PopSize:  pop,
+		Runs:     3,
+		Seed:     1,
+	})
+}
+
+func BenchmarkTable1Unconstrained(b *testing.B) {
+	r := benchRunner(b, []string{"C880"}, 4000)
+	if _, err := r.Table1(); err != nil { // warm population cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Quality(b *testing.B) {
+	r := benchRunner(b, []string{"C880"}, 4000)
+	if _, err := r.Table2(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3ConstrainedHigh(b *testing.B) {
+	r := benchRunner(b, []string{"C880"}, 4000)
+	if _, err := r.Table3(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4ConstrainedLow(b *testing.B) {
+	r := benchRunner(b, []string{"C880"}, 4000)
+	if _, err := r.Table4(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1SampleMaxima(b *testing.B) {
+	r := benchRunner(b, []string{"C880"}, 4000)
+	if _, err := r.Figure1("C880", []int{2, 30}, 200); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Figure1("C880", []int{2, 30}, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2EstimatorDist(b *testing.B) {
+	r := benchRunner(b, []string{"C880"}, 4000)
+	if _, err := r.Figure2("C880", []int{10}, 30); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Figure2("C880", []int{10}, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselinesExtension(b *testing.B) {
+	r := benchRunner(b, []string{"C880"}, 4000)
+	if _, err := r.Baselines(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Baselines(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSampleSize(b *testing.B) {
+	r := benchRunner(b, []string{"C880"}, 4000)
+	if _, err := r.AblationSampleSize("C880", []int{10, 30}, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationSampleSize("C880", []int{10, 30}, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationHyperSamples(b *testing.B) {
+	r := benchRunner(b, []string{"C880"}, 4000)
+	if _, err := r.AblationHyperSamples("C880", []int{5, 10}, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationHyperSamples("C880", []int{5, 10}, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFiniteCorrection(b *testing.B) {
+	r := benchRunner(b, []string{"C880"}, 4000)
+	if _, err := r.AblationFiniteCorrection("C880", 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationFiniteCorrection("C880", 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMLEvsLSQ(b *testing.B) {
+	r := benchRunner(b, []string{"C880"}, 4000)
+	if _, err := r.AblationMLEvsLSQ("C880", 10, 10); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationMLEvsLSQ("C880", 10, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDelayModel(b *testing.B) {
+	r := benchRunner(b, []string{"C880"}, 2000)
+	if _, err := r.AblationDelayModel("C880", 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationDelayModel("C880", 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command circinfo prints structural statistics of the built-in benchmark
+// circuits (or a user .bench file), and can export any built-in circuit in
+// .bench format for external tools.
+//
+// Usage:
+//
+//	circinfo                    # table of all built-in circuits
+//	circinfo -circuit C6288     # details for one circuit
+//	circinfo -bench my.bench    # details for a user netlist
+//	circinfo -circuit C432 -export c432.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+	"repro/internal/netlist"
+	"repro/maxpower"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "", "show details for one built-in circuit")
+		benchF  = flag.String("bench", "", "show details for a .bench netlist file")
+		export  = flag.String("export", "", "write the selected circuit to this .bench file")
+	)
+	flag.Parse()
+
+	switch {
+	case *benchF != "":
+		c, err := maxpower.LoadBenchFile(*benchF)
+		if err != nil {
+			fatal(err)
+		}
+		details(c)
+		exportIf(c, *export)
+	case *circuit != "":
+		c, err := maxpower.Circuit(*circuit)
+		if err != nil {
+			fatal(err)
+		}
+		details(c)
+		exportIf(c, *export)
+	default:
+		overview()
+	}
+}
+
+func overview() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "CIRCUIT\tROLE\tINPUTS\tOUTPUTS\tGATES\tDEPTH\tMAX FANOUT")
+	for _, spec := range bench.Specs {
+		c, err := bench.Generate(spec.Name)
+		if err != nil {
+			fatal(err)
+		}
+		s := c.ComputeStats()
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
+			s.Name, spec.Role, s.Inputs, s.Outputs, s.LogicGates, s.Depth, s.MaxFanout)
+	}
+	w.Flush()
+}
+
+func details(c *netlist.Circuit) {
+	s := c.ComputeStats()
+	fmt.Printf("circuit %s\n", s.Name)
+	fmt.Printf("  inputs      %d\n", s.Inputs)
+	fmt.Printf("  outputs     %d\n", s.Outputs)
+	fmt.Printf("  logic gates %d\n", s.LogicGates)
+	fmt.Printf("  depth       %d\n", s.Depth)
+	fmt.Printf("  max fanout  %d\n", s.MaxFanout)
+	fmt.Printf("  avg fanout  %.2f\n", s.AvgFanout)
+	fmt.Println("  gate mix:")
+	for _, k := range s.SortedKindNames() {
+		fmt.Printf("    %-5s %d\n", k, s.KindCounts[k])
+	}
+}
+
+func exportIf(c *netlist.Circuit, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := netlist.WriteBench(f, c); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "circinfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "Maximum Power Estimation Using the Limiting
+// Distributions of Extreme Order Statistics" (Qiu, Wu & Pedram, DAC 1998).
+//
+// The public API lives in the maxpower package; internal packages provide
+// the substrates (netlist, event-driven timing simulation, power model,
+// vector-pair populations, hand-written statistics, the reverse-Weibull
+// MLE, and the EVT estimator itself). See README.md for a tour, DESIGN.md
+// for the system inventory, and EXPERIMENTS.md for the paper-vs-measured
+// comparison. The benchmarks in bench_test.go regenerate every table and
+// figure of the paper at a reduced scale; cmd/experiments produces the
+// full versions.
+package repro

@@ -1,0 +1,84 @@
+// Baselines: every maximum-power technique in the repository on one
+// problem, so their trade-offs are visible side by side (the paper's §I
+// taxonomy):
+//
+//   - exact BDD maximization (Devadas et al. [1] style) — exact, but only
+//     feasible for small circuits and zero delay;
+//   - the EVT statistical estimator (the paper) — error/confidence bound
+//     at a few thousand simulations;
+//   - simple random sampling — a lower bound, no confidence statement;
+//   - greedy bit-flip search (ATPG-flavoured, Wang & Roy [5][6] style) —
+//     a tighter lower bound, still no statement;
+//   - genetic search (K2 [8] style).
+//
+// The circuit is a 12-input random-logic block, small enough for the
+// exact oracle under zero delay.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+	"repro/internal/evt"
+	"repro/internal/power"
+	"repro/internal/search"
+	"repro/internal/srs"
+	"repro/internal/stats"
+	"repro/internal/vectorgen"
+)
+
+func main() {
+	c, err := bench.RandomCircuit(bench.RandomOptions{Inputs: 12, Outputs: 6, Gates: 260, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit: %d inputs, %d gates, depth %d (zero-delay model)\n\n",
+		c.NumInputs(), c.NumLogicGates(), c.Depth())
+
+	// Exact oracle (zero delay).
+	exactMW, exactRes, err := power.ExactZeroDelayMaxMW(c, power.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eval := power.NewEvaluator(c, delay.Zero{}, power.Params{})
+	pop, err := vectorgen.Build(eval, vectorgen.Uniform{N: c.NumInputs()},
+		vectorgen.Options{Size: 30000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// EVT estimator.
+	est, err := evt.New(pop, evt.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	evtRes := est.Run(stats.NewRNG(2))
+
+	// SRS with the estimator's budget.
+	srsBest := srs.Estimate(pop, evtRes.Units, stats.NewRNG(3))
+
+	// Search baselines with roughly the same budget.
+	greedy := search.Greedy(eval, search.GreedyOptions{Restarts: 8, Seed: 4})
+	ga := search.Genetic(eval, search.GeneticOptions{Population: 40, Generations: 50, Seed: 5})
+
+	fmt.Printf("%-34s %10s %9s %10s  %s\n", "method", "result mW", "vs exact", "cost", "guarantee")
+	row := func(name string, mw float64, cost int, guarantee string) {
+		fmt.Printf("%-34s %10.4f %+8.2f%% %10d  %s\n",
+			name, mw, 100*(mw-exactMW)/exactMW, cost, guarantee)
+	}
+	row("exact BDD max-toggle [1]", exactMW, exactRes.Visited, "exact (zero delay, small only)")
+	row("EVT estimator (this paper)", evtRes.Estimate, evtRes.Units,
+		fmt.Sprintf("±5%% CI at 90%%: [%.4f, %.4f]", evtRes.CILow, evtRes.CIHigh))
+	row("simple random sampling", srsBest, evtRes.Units, "lower bound only")
+	row("greedy bit-flip search [5][6]", greedy.BestPower, greedy.Evaluations, "lower bound only")
+	row("genetic search (K2 [8])", ga.BestPower, ga.Evaluations, "lower bound only")
+
+	fmt.Printf("\npopulation census for context: |V|=%d, true sampled max %.4f mW (%.2f%% of exact)\n",
+		pop.Size(), pop.TrueMax(), 100*pop.TrueMax()/exactMW)
+	fmt.Println("note: the exact engine maximizes over ALL 2^24 vector pairs, so the")
+	fmt.Println("sampled population's maximum can fall short of it — the statistical")
+	fmt.Println("estimator targets the population it samples from.")
+}

@@ -1,0 +1,90 @@
+// Custom netlist: the library is not limited to the built-in benchmark
+// circuits — any combinational netlist in ISCAS-85 .bench format works.
+// This example embeds a small carry-select-style netlist as a string,
+// parses it, sweeps the maximum-power estimate across all four delay
+// models (the paper's contribution 2: the method is delay-model
+// independent), and prints the per-model populations' maxima.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/maxpower"
+)
+
+// A hand-written 4-bit adder with output buffers, in .bench format.
+const netlistSrc = `
+# add4: 4-bit ripple adder, 9 inputs (a0-3, b0-3, cin), 5 outputs
+INPUT(a0)
+INPUT(a1)
+INPUT(a2)
+INPUT(a3)
+INPUT(b0)
+INPUT(b1)
+INPUT(b2)
+INPUT(b3)
+INPUT(cin)
+OUTPUT(s0)
+OUTPUT(s1)
+OUTPUT(s2)
+OUTPUT(s3)
+OUTPUT(cout)
+
+x0 = XOR(a0, b0)
+s0 = XOR(x0, cin)
+g0 = AND(a0, b0)
+p0 = AND(x0, cin)
+c1 = OR(g0, p0)
+
+x1 = XOR(a1, b1)
+s1 = XOR(x1, c1)
+g1 = AND(a1, b1)
+p1 = AND(x1, c1)
+c2 = OR(g1, p1)
+
+x2 = XOR(a2, b2)
+s2 = XOR(x2, c2)
+g2 = AND(a2, b2)
+p2 = AND(x2, c2)
+c3 = OR(g2, p2)
+
+x3 = XOR(a3, b3)
+s3 = XOR(x3, c3)
+g3 = AND(a3, b3)
+p3 = AND(x3, c3)
+cout = OR(g3, p3)
+`
+
+func main() {
+	c, err := maxpower.LoadBench("add4", strings.NewReader(netlistSrc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := c.ComputeStats()
+	fmt.Printf("parsed %s: %d inputs, %d outputs, %d gates, depth %d\n\n",
+		s.Name, s.Inputs, s.Outputs, s.LogicGates, s.Depth)
+
+	fmt.Printf("%-8s %12s %12s %10s %7s\n", "delay", "true max mW", "estimate", "err", "units")
+	for _, model := range []string{"zero", "unit", "fanout", "table"} {
+		pop, err := maxpower.BuildPopulation(c, maxpower.PopulationSpec{
+			Kind:       maxpower.PopUniform,
+			Size:       4000,
+			DelayModel: model,
+			Seed:       1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := maxpower.Estimate(pop, maxpower.EstimateOptions{Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %12.4f %12.4f %+9.2f%% %7d\n",
+			model, pop.TrueMax(), res.Estimate,
+			100*(res.Estimate-pop.TrueMax())/pop.TrueMax(), res.Units)
+	}
+	fmt.Println("\nglitching under timed models raises both the mean and the maximum power,")
+	fmt.Println("which is why delay-model fidelity matters for maximum-power sign-off.")
+}

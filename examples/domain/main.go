@@ -1,0 +1,71 @@
+// Domain of attraction: the paper's §2–§3.1 argue that cycle power, being
+// bounded, puts sample maxima in the Weibull (G₂) domain rather than the
+// Gumbel (G₃) domain, and report that experiments confirmed it. This
+// example performs that confirmation quantitatively: it draws sample
+// maxima from a circuit's power population at several sample sizes, fits
+// BOTH extreme-value laws by maximum likelihood, and prints the
+// log-likelihood ratio — positive means the bounded Weibull law explains
+// the maxima better, the paper's modelling choice.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/weibull"
+	"repro/maxpower"
+)
+
+func main() {
+	c, err := maxpower.Circuit("C3540") // the paper's Figure-1 circuit
+	if err != nil {
+		log.Fatal(err)
+	}
+	pop, err := maxpower.BuildPopulation(c, maxpower.PopulationSpec{
+		Kind: maxpower.PopHighActivity, Size: 20000, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit %s: population of %d pairs, true max %.3f mW\n\n",
+		c.Name, pop.Size(), pop.TrueMax())
+
+	rng := stats.NewRNG(2)
+	fmt.Printf("%4s %10s %12s %12s %14s  %s\n",
+		"n", "samples", "Weibull α", "Weibull μ", "ℓ(G₂)−ℓ(G₃)", "verdict")
+	for _, n := range []int{2, 10, 30, 50} {
+		const samples = 500
+		maxima := make([]float64, samples)
+		for i := range maxima {
+			m := math.Inf(-1)
+			for j := 0; j < n; j++ {
+				if p := pop.SamplePower(rng); p > m {
+					m = p
+				}
+			}
+			maxima[i] = m
+		}
+		d := weibull.DiagnoseDomain(maxima)
+		verdict := "inconclusive"
+		switch {
+		case !d.WeibullOK:
+			verdict = "Weibull fit failed"
+		case !d.GumbelOK:
+			verdict = "Gumbel fit failed"
+		case d.LogLikRatio > 2:
+			verdict = "Weibull domain (paper's choice)"
+		case d.LogLikRatio < -2:
+			verdict = "Gumbel domain"
+		}
+		alpha, mu := math.NaN(), math.NaN()
+		if d.WeibullOK {
+			alpha, mu = d.Weibull.Alpha, d.Weibull.Mu
+		}
+		fmt.Printf("%4d %10d %12.2f %12.3f %14.1f  %s\n",
+			n, samples, alpha, mu, d.LogLikRatio, verdict)
+	}
+	fmt.Println("\nthe fitted Weibull endpoint μ approaches the true maximum as n grows,")
+	fmt.Println("while a Gumbel fit, having no endpoint, can never answer the question.")
+}

@@ -1,0 +1,117 @@
+package avgpower
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+	"repro/internal/evt"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/vectorgen"
+)
+
+func TestEstimateOnKnownDistribution(t *testing.T) {
+	// Normal(10, 2) source: mean must be recovered within the CI.
+	src := evt.InfiniteSource(func(rng *stats.RNG) float64 {
+		return 10 + 2*rng.NormFloat64()
+	})
+	res, err := Estimate(src, Config{Epsilon: 0.02}, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if math.Abs(res.Mean-10) > 0.5 {
+		t.Errorf("mean = %v, want ≈ 10", res.Mean)
+	}
+	if res.CILow > 10 || res.CIHigh < 10 {
+		t.Logf("note: CI %v..%v missed the true mean (happens ~10%% of seeds)", res.CILow, res.CIHigh)
+	}
+	if res.RelErr > 0.02 {
+		t.Errorf("converged with RelErr %v", res.RelErr)
+	}
+}
+
+func TestTighterEpsilonCostsMore(t *testing.T) {
+	src := evt.InfiniteSource(func(rng *stats.RNG) float64 {
+		return 5 + rng.NormFloat64()
+	})
+	loose, _ := Estimate(src, Config{Epsilon: 0.10}, stats.NewRNG(2))
+	tight, _ := Estimate(src, Config{Epsilon: 0.01}, stats.NewRNG(2))
+	if !loose.Converged || !tight.Converged {
+		t.Fatal("runs did not converge")
+	}
+	if tight.Units <= loose.Units {
+		t.Errorf("tight %d units vs loose %d", tight.Units, loose.Units)
+	}
+}
+
+func TestEstimateOnCircuitPopulation(t *testing.T) {
+	c := bench.MustGenerate("C432")
+	eval := power.NewEvaluator(c, delay.FanoutLoaded{}, power.Params{})
+	pop, err := vectorgen.Build(eval, vectorgen.HighActivity{N: c.NumInputs(), MinActivity: 0.3},
+		vectorgen.Options{Size: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Estimate(pop, Config{}, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("no convergence: %+v", res)
+	}
+	truth := pop.MeanPower()
+	if math.Abs(res.Mean-truth)/truth > 0.10 {
+		t.Errorf("mean %v vs population mean %v", res.Mean, truth)
+	}
+	// Average power needs FAR fewer units than maximum power: this is the
+	// contrast the paper draws with [10].
+	if res.Units > 2000 {
+		t.Errorf("average power took %d units; should be cheap", res.Units)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(nil, Config{}, stats.NewRNG(1)); err == nil {
+		t.Error("nil source accepted")
+	}
+	src := evt.InfiniteSource(func(rng *stats.RNG) float64 { return 1 })
+	if _, err := Estimate(src, Config{Epsilon: 2}, stats.NewRNG(1)); err == nil {
+		t.Error("bad epsilon accepted")
+	}
+	if _, err := Estimate(src, Config{Confidence: 1}, stats.NewRNG(1)); err == nil {
+		t.Error("bad confidence accepted")
+	}
+}
+
+func TestConstantSourceConvergesImmediately(t *testing.T) {
+	src := evt.InfiniteSource(func(rng *stats.RNG) float64 { return 7 })
+	res, err := Estimate(src, Config{}, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Units != 30 || res.Mean != 7 {
+		t.Errorf("constant source: %+v", res)
+	}
+}
+
+func TestMaxUnitsCap(t *testing.T) {
+	// A huge-variance source with a tiny epsilon must hit the cap.
+	src := evt.InfiniteSource(func(rng *stats.RNG) float64 {
+		if rng.Bool(0.5) {
+			return 0.001
+		}
+		return 1000
+	})
+	res, err := Estimate(src, Config{Epsilon: 0.0001, MaxUnits: 500}, stats.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Units != 500 {
+		t.Errorf("cap not honoured: %+v", res)
+	}
+}

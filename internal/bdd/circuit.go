@@ -1,0 +1,61 @@
+package bdd
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// CompileCircuit builds a BDD for every gate of the circuit as a function
+// of variables vars[i] (one per primary input, in declaration order). The
+// manager must have at least max(vars)+1 variables. Returns one Ref per
+// gate index.
+func CompileCircuit(m *Manager, c *netlist.Circuit, vars []int) ([]Ref, error) {
+	if len(vars) != c.NumInputs() {
+		return nil, fmt.Errorf("bdd: %d variables for %d inputs", len(vars), c.NumInputs())
+	}
+	refs := make([]Ref, c.NumGates())
+	inputVar := make(map[int]int, len(vars))
+	for i, idx := range c.Inputs {
+		inputVar[idx] = vars[i]
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Kind == netlist.Input {
+			refs[i] = m.Var(inputVar[i])
+			continue
+		}
+		cur := refs[g.Fanin[0]]
+		switch g.Kind {
+		case netlist.Buf:
+			// cur already holds the fan-in function.
+		case netlist.Not:
+			cur = m.Not(cur)
+		case netlist.And, netlist.Nand:
+			for _, f := range g.Fanin[1:] {
+				cur = m.And(cur, refs[f])
+			}
+			if g.Kind == netlist.Nand {
+				cur = m.Not(cur)
+			}
+		case netlist.Or, netlist.Nor:
+			for _, f := range g.Fanin[1:] {
+				cur = m.Or(cur, refs[f])
+			}
+			if g.Kind == netlist.Nor {
+				cur = m.Not(cur)
+			}
+		case netlist.Xor, netlist.Xnor:
+			for _, f := range g.Fanin[1:] {
+				cur = m.Xor(cur, refs[f])
+			}
+			if g.Kind == netlist.Xnor {
+				cur = m.Not(cur)
+			}
+		default:
+			return nil, fmt.Errorf("bdd: unsupported gate kind %v", g.Kind)
+		}
+		refs[i] = cur
+	}
+	return refs, nil
+}

@@ -1,0 +1,133 @@
+package bdd
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// MaxExactInputs bounds the circuit size ExactMaxToggle accepts; the
+// search is exponential in the worst case and exists as a validation
+// oracle for small circuits, not a production analysis.
+const MaxExactInputs = 14
+
+// ExactResult is the outcome of an exact maximum-toggle search.
+type ExactResult struct {
+	// MaxWeight is the maximum of Σ weights[g]·toggles_g over all vector
+	// pairs, under zero-delay (steady-state) toggling.
+	MaxWeight float64
+	// V1, V2 is a maximizing vector pair.
+	V1, V2 []bool
+	// Visited counts branch-and-bound tree nodes (a cost diagnostic).
+	Visited int
+}
+
+// ExactMaxToggle computes the exact zero-delay maximum weighted toggle
+// count of a circuit over all input vector pairs, by compiling per-gate
+// toggle functions f(v1) ⊕ f(v2) to BDDs over interleaved (v1, v2)
+// variables and maximizing with branch-and-bound. weights has one entry
+// per gate index (netlist.Input nodes included — their toggle is the
+// input transition itself); non-positive weights are ignored.
+func ExactMaxToggle(c *netlist.Circuit, weights []float64) (ExactResult, error) {
+	n := c.NumInputs()
+	if n > MaxExactInputs {
+		return ExactResult{}, fmt.Errorf("bdd: circuit has %d inputs; exact search capped at %d", n, MaxExactInputs)
+	}
+	if len(weights) != c.NumGates() {
+		return ExactResult{}, fmt.Errorf("bdd: %d weights for %d gates", len(weights), c.NumGates())
+	}
+
+	m := New(2 * n)
+	// Interleaved order: x_i ↦ 2i, y_i ↦ 2i+1 keeps the two copies of
+	// each input adjacent, which keeps the toggle BDDs small.
+	xVars := make([]int, n)
+	yVars := make([]int, n)
+	for i := 0; i < n; i++ {
+		xVars[i] = 2 * i
+		yVars[i] = 2*i + 1
+	}
+	fx, err := CompileCircuit(m, c, xVars)
+	if err != nil {
+		return ExactResult{}, err
+	}
+	fy, err := CompileCircuit(m, c, yVars)
+	if err != nil {
+		return ExactResult{}, err
+	}
+
+	type wf struct {
+		f Ref
+		w float64
+	}
+	active := make([]wf, 0, len(weights))
+	var fixed float64 // weight already guaranteed (toggle function ≡ 1)
+	for g, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		t := m.Xor(fx[g], fy[g])
+		switch t {
+		case One:
+			fixed += w
+		case Zero:
+			// gate can never toggle
+		default:
+			active = append(active, wf{f: t, w: w})
+		}
+	}
+
+	res := ExactResult{MaxWeight: -1}
+	assign := make([]bool, 2*n)
+
+	var dfs func(depth int, funcs []wf, acquired float64)
+	dfs = func(depth int, funcs []wf, acquired float64) {
+		res.Visited++
+		// Upper bound: everything not yet impossible still counts.
+		bound := acquired
+		for _, e := range funcs {
+			bound += e.w
+		}
+		if bound <= res.MaxWeight {
+			return
+		}
+		if depth == 2*n || len(funcs) == 0 {
+			if acquired > res.MaxWeight {
+				res.MaxWeight = acquired
+				v1 := make([]bool, n)
+				v2 := make([]bool, n)
+				for i := 0; i < n; i++ {
+					v1[i] = assign[2*i]
+					v2[i] = assign[2*i+1]
+				}
+				res.V1, res.V2 = v1, v2
+			}
+			return
+		}
+		for _, val := range [2]bool{true, false} {
+			assign[depth] = val
+			next := make([]wf, 0, len(funcs))
+			got := acquired
+			for _, e := range funcs {
+				r := m.Restrict(e.f, depth, val)
+				switch r {
+				case One:
+					got += e.w
+				case Zero:
+					// lost
+				default:
+					next = append(next, wf{f: r, w: e.w})
+				}
+			}
+			dfs(depth+1, next, got)
+		}
+	}
+	dfs(0, active, fixed)
+
+	if res.V1 == nil {
+		// Every toggle function was constant; any pair achieves MaxWeight.
+		res.MaxWeight = fixed
+		res.V1 = make([]bool, n)
+		res.V2 = make([]bool, n)
+	}
+	return res, nil
+}

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/stats"
+)
+
+// Spec records the interface shape of a named benchmark circuit. The values
+// match the original ISCAS-85 circuits evaluated in the paper.
+type Spec struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	Gates   int // logic-gate target (excluding primary inputs)
+	Role    string
+}
+
+// Specs lists the nine circuits of the paper's Tables 1–4 with the original
+// ISCAS-85 interface sizes.
+var Specs = []Spec{
+	{"C432", 36, 7, 160, "27-channel interrupt controller"},
+	{"C880", 60, 26, 383, "8-bit ALU"},
+	{"C1355", 41, 32, 546, "32-bit single-error-correcting circuit"},
+	{"C1908", 33, 25, 880, "16-bit SEC/DED circuit"},
+	{"C2670", 233, 140, 1193, "12-bit ALU and controller"},
+	{"C3540", 50, 22, 1669, "8-bit ALU with BCD logic"},
+	{"C5315", 178, 123, 2307, "9-bit ALU"},
+	{"C6288", 32, 32, 2406, "16x16 array multiplier"},
+	{"C7552", 207, 108, 3512, "32-bit adder/comparator"},
+}
+
+// Names returns the circuit names in the paper's canonical ordering
+// (alphanumeric, as printed in Tables 1–4).
+func Names() []string {
+	names := make([]string, len(Specs))
+	for i, s := range Specs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SpecByName returns the Spec for a named circuit.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Specs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Generate builds the named synthetic ISCAS-85 equivalent. The construction
+// is deterministic: the random glue that pads each datapath to the original
+// gate count is seeded from the circuit name.
+func Generate(name string) (*netlist.Circuit, error) {
+	spec, ok := SpecByName(name)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown circuit %q (known: %v)", name, Names())
+	}
+	c := build(spec)
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: generator for %s produced invalid circuit: %w", name, err)
+	}
+	return c, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(name string) *netlist.Circuit {
+	c, err := Generate(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// nameSeed derives a stable RNG seed from a circuit name.
+func nameSeed(name string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func build(spec Spec) *netlist.Circuit {
+	b := netlist.NewBuilder(spec.Name)
+	rng := stats.NewRNG(nameSeed(spec.Name))
+	ins := b.Inputs("I", spec.Inputs)
+	target := spec.Inputs + spec.Gates // builder counts include Input nodes
+
+	// Datapath core per circuit family; each returns candidate output
+	// signals. The random glue then pads to the exact gate budget and the
+	// primary outputs are drawn from the latest (deepest) signals.
+	var candidates []int
+	switch spec.Name {
+	case "C432": // priority/interrupt logic over 4 request groups
+		g1, any1 := priorityEncoder(b, ins[0:9])
+		g2, any2 := priorityEncoder(b, ins[9:18])
+		g3, any3 := priorityEncoder(b, ins[18:27])
+		masked := make([]int, 9)
+		for i := 0; i < 9; i++ {
+			m1 := b.And(g1[i], ins[27+(i%9)])
+			m2 := b.Or(g2[i], m1)
+			masked[i] = b.Xor(m2, g3[i])
+		}
+		candidates = append(candidates, orTree(b, masked), any1, any2, any3)
+		candidates = append(candidates, masked...)
+	case "C880": // 8-bit ALU
+		res, cout := alu(b, ins[0:8], ins[8:16], ins[16], ins[17], ins[18])
+		eq, gt := comparator(b, ins[19:27], ins[27:35])
+		par := xorTree(b, ins[35:43])
+		candidates = append(candidates, res...)
+		candidates = append(candidates, cout, eq, gt, par)
+	case "C1355": // 32-bit SEC with NAND-expanded XOR cells (as the real C1355)
+		data := ins[0:32]
+		recvChecks := ins[32:38]
+		syn := hammingSyndromeWith(b, data, 6, xorTreeNand)
+		diff := make([]int, 6)
+		for i := range diff {
+			diff[i] = xorNand(b, syn[i], recvChecks[i])
+		}
+		corrected := hammingCorrectorWith(b, data, diff, xorNand)
+		candidates = append(candidates, corrected...)
+	case "C1908": // 16-bit SEC/DED
+		data := ins[0:16]
+		recvChecks := ins[16:21]
+		overall := ins[21]
+		syn := hammingSyndrome(b, data, 5)
+		diff := make([]int, 5)
+		for i := range diff {
+			diff[i] = b.Xor(syn[i], recvChecks[i])
+		}
+		corrected := hammingCorrector(b, data, diff)
+		ded := b.Xor(xorTree(b, append(append([]int{}, data...), recvChecks...)), overall)
+		candidates = append(candidates, corrected...)
+		candidates = append(candidates, ded)
+	case "C2670": // 12-bit ALU + controller
+		res, cout := alu(b, ins[0:12], ins[12:24], ins[24], ins[25], ins[26])
+		eq, gt := comparator(b, ins[27:39], ins[39:51])
+		grants, any := priorityEncoder(b, ins[51:75])
+		candidates = append(candidates, res...)
+		candidates = append(candidates, grants...)
+		candidates = append(candidates, cout, eq, gt, any)
+	case "C3540": // 8-bit ALU with extra decode logic
+		res, cout := alu(b, ins[0:8], ins[8:16], ins[16], ins[17], ins[18])
+		res2, cout2 := alu(b, res, ins[19:27], cout, ins[27], ins[28])
+		eq, gt := comparator(b, res2, ins[29:37])
+		par := xorTree(b, ins[37:50])
+		candidates = append(candidates, res2...)
+		candidates = append(candidates, cout2, eq, gt, par)
+	case "C5315": // 9-bit ALU, two banks
+		res1, c1 := alu(b, ins[0:9], ins[9:18], ins[18], ins[19], ins[20])
+		res2, c2 := alu(b, ins[21:30], ins[30:39], ins[39], ins[40], ins[41])
+		sum, cs := rippleAdderCin(b, res1, res2, b.Xor(c1, c2))
+		eq, gt := comparator(b, ins[42:51], ins[51:60])
+		candidates = append(candidates, sum...)
+		candidates = append(candidates, cs, eq, gt)
+	case "C6288": // true 16x16 array multiplier
+		candidates = arrayMultiplier(b, ins[0:16], ins[16:32])
+	case "C7552": // 32-bit adder + comparator + parity
+		sum, cout := rippleAdderCin(b, ins[0:32], ins[32:64], ins[64])
+		eq, gt := comparator(b, ins[65:97], ins[97:129])
+		par := xorTree(b, ins[129:161])
+		candidates = append(candidates, sum...)
+		candidates = append(candidates, cout, eq, gt, par)
+	default:
+		panic("bench: no generator for " + spec.Name)
+	}
+
+	// Pad to the target gate count with random glue over the datapath
+	// signals and all primary inputs (so unused PIs gain consumers).
+	pool := append(append([]int{}, ins...), candidates...)
+	pool = randomGlue(b, rng, pool, target)
+
+	// Primary outputs: the declared candidates first, then the deepest glue
+	// signals, until the spec's output count is reached.
+	outs := make([]int, 0, spec.Outputs)
+	seen := make(map[int]bool)
+	for _, s := range candidates {
+		if len(outs) == spec.Outputs {
+			break
+		}
+		if !seen[s] {
+			outs = append(outs, s)
+			seen[s] = true
+		}
+	}
+	for i := len(pool) - 1; i >= 0 && len(outs) < spec.Outputs; i-- {
+		if !seen[pool[i]] {
+			outs = append(outs, pool[i])
+			seen[pool[i]] = true
+		}
+	}
+	for _, o := range outs {
+		b.Output(o)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestGenerateAllSpecs(t *testing.T) {
+	for _, spec := range Specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			c, err := Generate(spec.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if c.NumInputs() != spec.Inputs {
+				t.Errorf("inputs = %d, want %d", c.NumInputs(), spec.Inputs)
+			}
+			if c.NumOutputs() != spec.Outputs {
+				t.Errorf("outputs = %d, want %d", c.NumOutputs(), spec.Outputs)
+			}
+			got := c.NumLogicGates()
+			// Generators pad up to the spec gate count; datapath-heavy
+			// circuits may overshoot slightly but never by more than 60%.
+			if got < spec.Gates || got > spec.Gates*8/5 {
+				t.Errorf("logic gates = %d, want within [%d, %d]", got, spec.Gates, spec.Gates*8/5)
+			}
+			if c.Depth() < 4 {
+				t.Errorf("depth = %d, suspiciously shallow", c.Depth())
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate("C432")
+	b := MustGenerate("C432")
+	if a.NumGates() != b.NumGates() {
+		t.Fatal("non-deterministic gate count")
+	}
+	for i := range a.Gates {
+		if a.Gates[i].Kind != b.Gates[i].Kind || a.Gates[i].Name != b.Gates[i].Name {
+			t.Fatalf("gate %d differs between runs", i)
+		}
+		if len(a.Gates[i].Fanin) != len(b.Gates[i].Fanin) {
+			t.Fatalf("gate %d fanin differs", i)
+		}
+		for j := range a.Gates[i].Fanin {
+			if a.Gates[i].Fanin[j] != b.Gates[i].Fanin[j] {
+				t.Fatalf("gate %d fanin %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("C9999"); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGenerate of unknown did not panic")
+		}
+	}()
+	MustGenerate("nope")
+}
+
+func TestSpecByName(t *testing.T) {
+	s, ok := SpecByName("C6288")
+	if !ok || s.Inputs != 32 || s.Outputs != 32 {
+		t.Fatalf("SpecByName(C6288) = %+v, %v", s, ok)
+	}
+	if _, ok := SpecByName("X"); ok {
+		t.Fatal("bogus name found")
+	}
+}
+
+func TestNamesSortedComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(Specs) {
+		t.Fatalf("Names() has %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names() not sorted")
+		}
+	}
+}
+
+func TestC6288IsRealMultiplier(t *testing.T) {
+	c := MustGenerate("C6288")
+	// The first 32 outputs are the product bits of a 16x16 multiply.
+	mulCheck := func(a, b uint64) uint64 {
+		in := make([]bool, 32)
+		for i := 0; i < 16; i++ {
+			in[i] = a&(1<<i) != 0
+			in[16+i] = b&(1<<i) != 0
+		}
+		out := evalCircuit(c, in)
+		var v uint64
+		for i := 0; i < 32; i++ {
+			if out[i] {
+				v |= 1 << i
+			}
+		}
+		return v
+	}
+	cases := [][2]uint64{{0, 0}, {1, 1}, {3, 5}, {65535, 65535}, {12345, 54321}, {256, 255}}
+	for _, tc := range cases {
+		if got := mulCheck(tc[0], tc[1]); got != tc[0]*tc[1] {
+			t.Errorf("%d * %d = %d, want %d", tc[0], tc[1], got, tc[0]*tc[1])
+		}
+	}
+}
+
+func TestGeneratedCircuitsSerializable(t *testing.T) {
+	c := MustGenerate("C432")
+	var sb strings.Builder
+	if err := netlist.WriteBench(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := netlist.ParseBench("C432", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumLogicGates() != c.NumLogicGates() {
+		t.Error("serialization changed gate count")
+	}
+}
+
+func TestEveryInputHasConsumer(t *testing.T) {
+	for _, spec := range Specs {
+		c := MustGenerate(spec.Name)
+		counts := c.FanoutCounts()
+		dangling := 0
+		for _, i := range c.Inputs {
+			if counts[i] == 0 {
+				dangling++
+			}
+		}
+		if dangling > 0 {
+			t.Errorf("%s: %d primary inputs drive nothing", spec.Name, dangling)
+		}
+	}
+}
+
+func TestRandomCircuit(t *testing.T) {
+	c, err := RandomCircuit(RandomOptions{Inputs: 12, Outputs: 4, Gates: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumLogicGates() != 200 || c.NumInputs() != 12 || c.NumOutputs() != 4 {
+		t.Fatalf("shape: %d/%d/%d", c.NumInputs(), c.NumOutputs(), c.NumLogicGates())
+	}
+	if c.Depth() < 3 {
+		t.Errorf("random circuit too shallow: depth %d", c.Depth())
+	}
+	// Determinism.
+	c2, _ := RandomCircuit(RandomOptions{Inputs: 12, Outputs: 4, Gates: 200, Seed: 7})
+	for i := range c.Gates {
+		if c.Gates[i].Kind != c2.Gates[i].Kind {
+			t.Fatal("random circuit not deterministic")
+		}
+	}
+	// Different seeds differ.
+	c3, _ := RandomCircuit(RandomOptions{Inputs: 12, Outputs: 4, Gates: 200, Seed: 8})
+	same := true
+	for i := range c.Gates {
+		if c.Gates[i].Kind != c3.Gates[i].Kind {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestRandomCircuitRejectsBadOptions(t *testing.T) {
+	bad := []RandomOptions{
+		{Inputs: 0, Outputs: 1, Gates: 1},
+		{Inputs: 1, Outputs: 0, Gates: 1},
+		{Inputs: 1, Outputs: 1, Gates: 0},
+		{Inputs: 1, Outputs: 100, Gates: 1},
+	}
+	for _, opt := range bad {
+		if _, err := RandomCircuit(opt); err == nil {
+			t.Errorf("options %+v accepted", opt)
+		}
+	}
+}

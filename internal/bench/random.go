@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/stats"
+)
+
+// RandomOptions configures RandomCircuit.
+type RandomOptions struct {
+	Inputs  int
+	Outputs int
+	Gates   int    // logic gates to create
+	MaxFan  int    // maximum fan-in per gate (default 3)
+	Seed    uint64 // RNG seed (the zero seed is valid)
+}
+
+// RandomCircuit generates a seeded random combinational DAG. Gates draw
+// their fan-ins from the most recently created signals with a bias toward
+// recent ones, producing realistic logic depth rather than a flat cloud.
+// It is used by tests and by users who want quick arbitrary workloads.
+func RandomCircuit(opt RandomOptions) (*netlist.Circuit, error) {
+	if opt.Inputs < 1 || opt.Outputs < 1 || opt.Gates < 1 {
+		return nil, fmt.Errorf("bench: RandomCircuit needs positive inputs/outputs/gates, got %+v", opt)
+	}
+	if opt.Outputs > opt.Inputs+opt.Gates {
+		return nil, fmt.Errorf("bench: cannot expose %d outputs from %d signals", opt.Outputs, opt.Inputs+opt.Gates)
+	}
+	maxFan := opt.MaxFan
+	if maxFan < 2 {
+		maxFan = 3
+	}
+	rng := stats.NewRNG(opt.Seed ^ 0x9e3779b97f4a7c15)
+	b := netlist.NewBuilder(fmt.Sprintf("rand_i%d_g%d_s%d", opt.Inputs, opt.Gates, opt.Seed))
+	pool := b.Inputs("I", opt.Inputs)
+
+	kinds := []netlist.Kind{
+		netlist.And, netlist.Nand, netlist.Or, netlist.Nor,
+		netlist.Xor, netlist.Xnor, netlist.Not,
+	}
+	for g := 0; g < opt.Gates; g++ {
+		k := kinds[rng.Intn(len(kinds))]
+		var fan []int
+		if k == netlist.Not {
+			fan = []int{pickBiased(rng, pool)}
+		} else {
+			nf := 2
+			if maxFan > 2 {
+				nf += rng.Intn(maxFan - 1)
+			}
+			fan = make([]int, 0, nf)
+			for len(fan) < nf {
+				cand := pickBiased(rng, pool)
+				dup := false
+				for _, f := range fan {
+					if f == cand {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					fan = append(fan, cand)
+				} else if len(pool) <= nf {
+					break
+				}
+			}
+			if len(fan) < 2 {
+				fan = append(fan, pool[rng.Intn(len(pool))])
+			}
+		}
+		pool = append(pool, b.Gate(k, "", fan...))
+	}
+	// Outputs: the newest signals (deepest logic).
+	for i := 0; i < opt.Outputs; i++ {
+		b.Output(pool[len(pool)-1-i])
+	}
+	return b.Build()
+}
+
+// pickBiased selects a signal with quadratic bias toward the end of pool
+// (recent signals), which yields deep circuits.
+func pickBiased(rng *stats.RNG, pool []int) int {
+	u := rng.Float64()
+	// 1 − u² biases toward 1 after the flip below.
+	idx := int((1 - u*u) * float64(len(pool)))
+	if idx >= len(pool) {
+		idx = len(pool) - 1
+	}
+	return pool[idx]
+}

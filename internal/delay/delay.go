@@ -1,0 +1,162 @@
+// Package delay provides the gate-delay models consumed by the event-driven
+// simulator. The paper's point (contribution 2) is that the estimation
+// method is independent of the delay model, so the simulator accepts any
+// Model; this package supplies the standard choices — zero delay, unit
+// delay, a fanout-loaded linear model, and a per-kind table model.
+package delay
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Model assigns a propagation delay, in picoseconds, to every gate of a
+// circuit. Implementations must return a non-negative slice with one entry
+// per gate; entries for Input nodes are ignored.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Assign computes per-gate delays for the circuit.
+	Assign(c *netlist.Circuit) []int64
+}
+
+// Zero is the zero-delay model: all gates switch instantaneously, so a
+// cycle has no glitching (each net toggles at most once).
+type Zero struct{}
+
+// Name implements Model.
+func (Zero) Name() string { return "zero" }
+
+// Assign implements Model.
+func (Zero) Assign(c *netlist.Circuit) []int64 {
+	return make([]int64, c.NumGates())
+}
+
+// Unit is the unit-delay model: every logic gate has the same delay.
+type Unit struct {
+	// Delay per gate in ps; defaults to 100 when zero.
+	Delay int64
+}
+
+// Name implements Model.
+func (u Unit) Name() string { return "unit" }
+
+// Assign implements Model.
+func (u Unit) Assign(c *netlist.Circuit) []int64 {
+	d := u.Delay
+	if d <= 0 {
+		d = 100
+	}
+	out := make([]int64, c.NumGates())
+	for i, g := range c.Gates {
+		if g.Kind != netlist.Input {
+			out[i] = d
+		}
+	}
+	return out
+}
+
+// FanoutLoaded is a linear loaded-delay model: delay = Base + Slope·fanout,
+// the classic first-order RC approximation where each fanout adds gate
+// input capacitance to the driver's load. This is the default model for
+// the experiments because it produces realistic glitch distributions.
+type FanoutLoaded struct {
+	// Base intrinsic delay in ps; defaults to 80.
+	Base int64
+	// Slope in ps per fanout; defaults to 20.
+	Slope int64
+}
+
+// Name implements Model.
+func (FanoutLoaded) Name() string { return "fanout" }
+
+// Assign implements Model.
+func (f FanoutLoaded) Assign(c *netlist.Circuit) []int64 {
+	base, slope := f.Base, f.Slope
+	if base <= 0 {
+		base = 80
+	}
+	if slope < 0 {
+		slope = 20
+	}
+	if f.Slope == 0 {
+		slope = 20
+	}
+	counts := c.FanoutCounts()
+	out := make([]int64, c.NumGates())
+	for i, g := range c.Gates {
+		if g.Kind != netlist.Input {
+			out[i] = base + slope*int64(counts[i])
+		}
+	}
+	return out
+}
+
+// Table assigns per-kind intrinsic delays (ps) plus an optional per-fanout
+// slope, mimicking a standard-cell timing library. Kinds missing from the
+// table fall back to Default.
+type Table struct {
+	Delays  map[netlist.Kind]int64
+	Slope   int64
+	Default int64
+}
+
+// StandardTable returns a Table with delays in the flavor of a 0.35 µm
+// library: inverters/buffers fast, XOR/XNOR slow.
+func StandardTable() Table {
+	return Table{
+		Delays: map[netlist.Kind]int64{
+			netlist.Not:  40,
+			netlist.Buf:  50,
+			netlist.And:  90,
+			netlist.Nand: 70,
+			netlist.Or:   95,
+			netlist.Nor:  75,
+			netlist.Xor:  140,
+			netlist.Xnor: 140,
+		},
+		Slope:   15,
+		Default: 100,
+	}
+}
+
+// Name implements Model.
+func (Table) Name() string { return "table" }
+
+// Assign implements Model.
+func (t Table) Assign(c *netlist.Circuit) []int64 {
+	def := t.Default
+	if def <= 0 {
+		def = 100
+	}
+	counts := c.FanoutCounts()
+	out := make([]int64, c.NumGates())
+	for i, g := range c.Gates {
+		if g.Kind == netlist.Input {
+			continue
+		}
+		d, ok := t.Delays[g.Kind]
+		if !ok {
+			d = def
+		}
+		out[i] = d + t.Slope*int64(counts[i])
+	}
+	return out
+}
+
+// ByName returns the model with the given name using default parameters.
+// Recognized names: zero, unit, fanout, table.
+func ByName(name string) (Model, error) {
+	switch name {
+	case "zero":
+		return Zero{}, nil
+	case "unit":
+		return Unit{}, nil
+	case "fanout":
+		return FanoutLoaded{}, nil
+	case "table":
+		return StandardTable(), nil
+	}
+	return nil, fmt.Errorf("delay: unknown model %q (want zero|unit|fanout|table)", name)
+}

@@ -1,0 +1,124 @@
+package delay
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func testCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("t")
+	a := b.Input("a")
+	x := b.Input("x")
+	n1 := b.Gate(netlist.Nand, "n1", a, x)
+	n2 := b.Gate(netlist.Xor, "n2", n1, a)
+	n3 := b.Gate(netlist.Not, "n3", n2)
+	b.Output(n3)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestZeroModel(t *testing.T) {
+	c := testCircuit(t)
+	d := Zero{}.Assign(c)
+	if len(d) != c.NumGates() {
+		t.Fatalf("len = %d", len(d))
+	}
+	for i, v := range d {
+		if v != 0 {
+			t.Errorf("delay[%d] = %d", i, v)
+		}
+	}
+	if (Zero{}).Name() != "zero" {
+		t.Error("name")
+	}
+}
+
+func TestUnitModel(t *testing.T) {
+	c := testCircuit(t)
+	d := Unit{Delay: 50}.Assign(c)
+	for i, g := range c.Gates {
+		want := int64(50)
+		if g.Kind == netlist.Input {
+			want = 0
+		}
+		if d[i] != want {
+			t.Errorf("gate %s delay = %d, want %d", g.Name, d[i], want)
+		}
+	}
+	// Default kicks in for zero.
+	d = Unit{}.Assign(c)
+	if d[c.GateIndex("n1")] != 100 {
+		t.Errorf("default unit delay = %d", d[c.GateIndex("n1")])
+	}
+}
+
+func TestFanoutLoadedModel(t *testing.T) {
+	c := testCircuit(t)
+	d := FanoutLoaded{Base: 10, Slope: 5}.Assign(c)
+	counts := c.FanoutCounts()
+	for i, g := range c.Gates {
+		if g.Kind == netlist.Input {
+			if d[i] != 0 {
+				t.Errorf("input has delay %d", d[i])
+			}
+			continue
+		}
+		want := 10 + 5*int64(counts[i])
+		if d[i] != want {
+			t.Errorf("gate %s delay = %d, want %d", g.Name, d[i], want)
+		}
+	}
+	// n1 feeds n2 only → fanout 1; n3 is an output → pad fanout 1.
+	if counts[c.GateIndex("n1")] != 1 || counts[c.GateIndex("n3")] != 1 {
+		t.Error("unexpected fanout counts")
+	}
+	// Defaults.
+	dd := FanoutLoaded{}.Assign(c)
+	if dd[c.GateIndex("n1")] != 80+20*1 {
+		t.Errorf("default fanout delay = %d", dd[c.GateIndex("n1")])
+	}
+}
+
+func TestTableModel(t *testing.T) {
+	c := testCircuit(t)
+	tab := StandardTable()
+	d := tab.Assign(c)
+	counts := c.FanoutCounts()
+	i := c.GateIndex("n2")
+	want := tab.Delays[netlist.Xor] + tab.Slope*int64(counts[i])
+	if d[i] != want {
+		t.Errorf("xor delay = %d, want %d", d[i], want)
+	}
+	// Missing kind falls back to Default.
+	sparse := Table{Delays: map[netlist.Kind]int64{}, Default: 33}
+	d = sparse.Assign(c)
+	if d[c.GateIndex("n1")] != 33 {
+		t.Errorf("fallback delay = %d", d[c.GateIndex("n1")])
+	}
+	// Zero Default falls back to 100.
+	zdef := Table{}
+	d = zdef.Assign(c)
+	if d[c.GateIndex("n1")] != 100 {
+		t.Errorf("zero-default delay = %d", d[c.GateIndex("n1")])
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"zero", "unit", "fanout", "table"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("ByName(%s).Name() = %s", name, m.Name())
+		}
+	}
+	if _, err := ByName("warp"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

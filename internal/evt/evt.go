@@ -1,0 +1,332 @@
+// Package evt implements the paper's contribution: maximum power
+// estimation from the limiting distribution of extreme order statistics.
+//
+// The pipeline (paper §III, Figures 3–4):
+//
+//  1. Draw m random samples of n units each; keep each sample's maximum
+//     power p_{i,MAX}. For n ≥ 30 those maxima follow the generalized
+//     reverse-Weibull law G(x; α, β, μ) whose location μ IS the population
+//     maximum ω(F).
+//  2. Fit (α, β, μ) by maximum likelihood (internal/weibull). One such fit
+//     is a hyper-sample estimate P̂_{i,MAX}. For a finite population the
+//     raw μ̂ over-shoots, so the (1 − 1/|V|) quantile of the fitted law is
+//     used instead (§3.4, the "finite population estimator").
+//  3. Iterate hyper-samples k = 1, 2, …; after each, form the Student-t
+//     confidence interval (Eqn. 3.8). Stop when the relative half-width is
+//     within ε at confidence level l.
+package evt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/weibull"
+)
+
+// Source is a population of power values that can be sampled with
+// replacement. *vectorgen.Population satisfies it; analytic distributions
+// can be adapted for tests.
+type Source interface {
+	// SamplePower draws the power of one random unit.
+	SamplePower(rng *stats.RNG) float64
+	// Size returns |V|, or 0 for an infinite population.
+	Size() int
+}
+
+// InfiniteSource adapts a draw function as an infinite population.
+type InfiniteSource func(rng *stats.RNG) float64
+
+// SamplePower implements Source.
+func (f InfiniteSource) SamplePower(rng *stats.RNG) float64 { return f(rng) }
+
+// Size implements Source.
+func (InfiniteSource) Size() int { return 0 }
+
+// Config parameterizes the estimator. The zero value is replaced by the
+// paper's settings via Defaults.
+type Config struct {
+	// SampleSize is n, the units per sample whose maximum is kept.
+	// Paper fixes 30 (Figure 1 shows convergence of the Weibull
+	// approximation by n = 30).
+	SampleSize int
+	// SamplesPerHyper is m, the number of sample-maxima per MLE fit.
+	// Paper fixes 10 (Figure 2 shows normality of μ̂ by m = 10).
+	SamplesPerHyper int
+	// Epsilon is the target relative error ε (CI half-width / estimate).
+	Epsilon float64
+	// Confidence is the level l of the Student-t interval.
+	Confidence float64
+	// MaxHyperSamples caps the iteration for pathological inputs.
+	MaxHyperSamples int
+	// MaxFitRetries re-draws a hyper-sample whose MLE fit fails
+	// (no interior likelihood maximum). Each retry consumes units.
+	MaxFitRetries int
+	// AlphaMin is the shape constraint passed to the Weibull MLE;
+	// 0 selects weibull.DefaultAlphaMin (= 2, the paper's condition).
+	AlphaMin float64
+	// DisableFiniteCorrection turns off the §3.4 finite-population
+	// quantile correction even when the source is finite (for ablation).
+	DisableFiniteCorrection bool
+}
+
+// Defaults fills unset fields with the paper's values.
+func (c Config) Defaults() Config {
+	if c.SampleSize <= 0 {
+		c.SampleSize = 30
+	}
+	if c.SamplesPerHyper <= 0 {
+		c.SamplesPerHyper = 10
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.05
+	}
+	if c.Confidence <= 0 {
+		c.Confidence = 0.90
+	}
+	if c.MaxHyperSamples <= 0 {
+		c.MaxHyperSamples = 200
+	}
+	if c.MaxFitRetries <= 0 {
+		c.MaxFitRetries = 4
+	}
+	if c.AlphaMin == 0 {
+		c.AlphaMin = weibull.DefaultAlphaMin
+	}
+	return c
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	c = c.Defaults()
+	if c.SamplesPerHyper < 3 {
+		return errors.New("evt: SamplesPerHyper must be at least 3 for a 3-parameter fit")
+	}
+	if c.Epsilon >= 1 {
+		return fmt.Errorf("evt: Epsilon %v must be in (0,1)", c.Epsilon)
+	}
+	if c.Confidence >= 1 {
+		return fmt.Errorf("evt: Confidence %v must be in (0,1)", c.Confidence)
+	}
+	return nil
+}
+
+// HyperSampleResult is one P̂_{i,MAX}: an MLE fit over m sample-maxima.
+type HyperSampleResult struct {
+	// Estimate is the hyper-sample's maximum-power estimate: μ̂ for an
+	// infinite population, the (1−1/|V|) Weibull quantile for a finite one.
+	Estimate float64
+	// Fit is the underlying reverse-Weibull fit.
+	Fit weibull.FitResult
+	// Units is the number of units drawn, including failed-fit retries.
+	Units int
+	// Retries counts re-drawn hyper-samples due to fit failures.
+	Retries int
+	// FallbackMax is true when every retry failed and the estimate fell
+	// back to the largest observed unit power.
+	FallbackMax bool
+	// ObservedMax is the largest unit power seen while drawing.
+	ObservedMax float64
+}
+
+// Result is the outcome of an estimation run.
+type Result struct {
+	// Estimate is P̄_MAX, the mean of the hyper-sample estimates (mW).
+	Estimate float64
+	// CILow/CIHigh bound the actual maximum at the configured confidence
+	// (Eqn. 3.8).
+	CILow, CIHigh float64
+	// RelErr is the final CI half-width divided by the estimate.
+	RelErr float64
+	// HyperSamples is k, the number of iterations used.
+	HyperSamples int
+	// Units is the total number of simulated units ("# of units" in
+	// Tables 1, 3, 4).
+	Units int
+	// Converged reports whether RelErr ≤ ε was reached within the cap.
+	Converged bool
+	// SigmaSq is s², the unbiased estimate of σ²_μ/m across hyper-samples
+	// (Theorem 6), with its χ² confidence interval at the configured
+	// level. Zero when fewer than two hyper-samples ran.
+	SigmaSq               float64
+	SigmaSqLow, SigmaSqHi float64
+	// Trace holds each hyper-sample's result in order.
+	Trace []HyperSampleResult
+	// ObservedMax is the largest unit power encountered anywhere in the
+	// run (the SRS-style lower bound that comes for free).
+	ObservedMax float64
+}
+
+// Estimator runs the paper's iterative procedure against a Source.
+type Estimator struct {
+	cfg Config
+	src Source
+}
+
+// New builds an estimator; cfg fields at zero take the paper's defaults.
+func New(src Source, cfg Config) (*Estimator, error) {
+	if src == nil {
+		return nil, errors.New("evt: nil source")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Estimator{cfg: cfg.Defaults(), src: src}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (e *Estimator) Config() Config { return e.cfg }
+
+// HyperSample draws one hyper-sample: m samples of size n, one MLE fit.
+// It retries with fresh draws when the fit fails, and falls back to the
+// observed maximum if every retry fails.
+func (e *Estimator) HyperSample(rng *stats.RNG) HyperSampleResult {
+	cfg := e.cfg
+	res := HyperSampleResult{ObservedMax: math.Inf(-1)}
+	for attempt := 0; ; attempt++ {
+		maxima := make([]float64, cfg.SamplesPerHyper)
+		for i := range maxima {
+			sampleMax := math.Inf(-1)
+			for j := 0; j < cfg.SampleSize; j++ {
+				p := e.src.SamplePower(rng)
+				if p > sampleMax {
+					sampleMax = p
+				}
+			}
+			maxima[i] = sampleMax
+		}
+		res.Units += cfg.SamplesPerHyper * cfg.SampleSize
+		for _, v := range maxima {
+			if v > res.ObservedMax {
+				res.ObservedMax = v
+			}
+		}
+		fit, err := weibull.FitMLEShape(maxima, cfg.AlphaMin)
+		if err == nil {
+			// Plausibility guard: the right endpoint of the maxima's law
+			// cannot credibly sit further above the largest observed
+			// maximum than a few times the sample's own spread. Fits that
+			// extrapolate beyond 3 ranges are almost always the
+			// shape-boundary pathology (α clamped, tiny β, huge μ);
+			// treat them as fit failures and re-draw.
+			mn, mx := maxima[0], maxima[0]
+			for _, v := range maxima {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			if mx > mn && fit.Mu > mx+3*(mx-mn) {
+				err = weibull.ErrNoInteriorMax
+			}
+		}
+		if err == nil {
+			res.Fit = fit
+			res.Estimate = e.estimateFrom(fit)
+			res.Retries = attempt
+			// Robustness guard: a pathological fit (huge μ with a tiny β
+			// at the shape boundary) can push the corrected quantile
+			// below powers actually observed, or out of the finite
+			// range entirely. The maximum of the population can never be
+			// below an observed unit, so clamp there.
+			if math.IsNaN(res.Estimate) || math.IsInf(res.Estimate, 0) || res.Estimate < res.ObservedMax {
+				res.Estimate = res.ObservedMax
+			}
+			return res
+		}
+		if attempt >= cfg.MaxFitRetries {
+			res.Retries = attempt
+			res.FallbackMax = true
+			res.Estimate = res.ObservedMax
+			return res
+		}
+	}
+}
+
+// estimateFrom converts a fit into the hyper-sample estimate, applying the
+// finite-population correction when applicable.
+func (e *Estimator) estimateFrom(fit weibull.FitResult) float64 {
+	size := e.src.Size()
+	if size <= 0 || e.cfg.DisableFiniteCorrection {
+		return fit.Mu
+	}
+	return fit.UpperQuantile(1 / float64(size))
+}
+
+// Run executes the iterative procedure of Figure 4 until the confidence
+// interval's relative half-width is within ε or MaxHyperSamples is hit.
+// At least two hyper-samples are always drawn (the sample deviation needs
+// k ≥ 2).
+func (e *Estimator) Run(rng *stats.RNG) Result {
+	return e.RunContext(context.Background(), rng)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the procedure
+// stops at the next hyper-sample boundary and returns the best result so
+// far (Converged reports whether ε was actually reached). Useful when each
+// unit is an expensive live simulation (StreamSource against a large
+// design).
+func (e *Estimator) RunContext(ctx context.Context, rng *stats.RNG) Result {
+	cfg := e.cfg
+	var (
+		res       Result
+		estimates []float64
+	)
+	res.ObservedMax = math.Inf(-1)
+	for k := 1; k <= cfg.MaxHyperSamples; k++ {
+		if ctx.Err() != nil {
+			return res
+		}
+		hs := e.HyperSample(rng)
+		res.Trace = append(res.Trace, hs)
+		res.Units += hs.Units
+		if hs.ObservedMax > res.ObservedMax {
+			res.ObservedMax = hs.ObservedMax
+		}
+		estimates = append(estimates, hs.Estimate)
+		if k < 2 {
+			continue
+		}
+		mean, sd := stats.MeanStd(estimates)
+		tq := stats.TwoSidedT(cfg.Confidence, float64(k-1))
+		half := tq * sd / math.Sqrt(float64(k))
+		res.Estimate = mean
+		res.SigmaSq = sd * sd
+		res.SigmaSqLow, res.SigmaSqHi = stats.VarianceCI(res.SigmaSq, k, cfg.Confidence)
+		res.CILow = mean - half
+		res.CIHigh = mean + half
+		if mean != 0 {
+			res.RelErr = half / math.Abs(mean)
+		} else {
+			res.RelErr = math.Inf(1)
+		}
+		res.HyperSamples = k
+		if res.RelErr <= cfg.Epsilon {
+			res.Converged = true
+			return res
+		}
+	}
+	// MaxHyperSamples == 1: no deviation exists; report the single
+	// hyper-sample with an unbounded interval rather than zeros.
+	if res.HyperSamples == 0 && len(estimates) > 0 {
+		res.Estimate = estimates[0]
+		res.CILow = math.Inf(-1)
+		res.CIHigh = math.Inf(1)
+		res.RelErr = math.Inf(1)
+		res.HyperSamples = len(estimates)
+	}
+	return res
+}
+
+// RelativeError returns (estimate − actual)/actual, the quantity reported
+// in the paper's error columns.
+func RelativeError(estimate, actual float64) float64 {
+	if actual == 0 {
+		return math.Inf(1)
+	}
+	return (estimate - actual) / actual
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/evt"
+	"repro/internal/stats"
+	"repro/internal/weibull"
+)
+
+// Figure1Series is one curve of Figure 1: the distribution of sample
+// maxima for one sample size n, with its least-squares Weibull fit.
+type Figure1Series struct {
+	N       int
+	Samples int
+	// Fit is the least-squares reverse-Weibull fit (the paper's Figure 1
+	// uses least-mean-squared-error fitting).
+	Fit weibull.FitResult
+	// FitOK is false when the LSQ fit failed (series still reports the
+	// empirical side).
+	FitOK bool
+	// KS is the Kolmogorov–Smirnov distance between the empirical maxima
+	// and the fit — the convergence measure ("negligible when n ≥ 30").
+	KS float64
+	// AD is the Anderson–Darling statistic of the same comparison; it
+	// weights the tails, the region the paper cares about ("the region
+	// near the maximum power").
+	AD float64
+	// X, Empirical, Fitted sample the two CDFs on a common grid.
+	X         []float64
+	Empirical []float64
+	Fitted    []float64
+}
+
+// Figure1 reproduces Figure 1: for each sample size n, form the
+// distribution of sample maxima from `samples` random samples (paper:
+// 1,000) drawn from the circuit's unconstrained population, and compare
+// with its closest Weibull distribution. The paper's circuit is C3540.
+func (r *Runner) Figure1(circuit string, sizes []int, samples int) ([]Figure1Series, error) {
+	if len(sizes) == 0 {
+		sizes = []int{2, 20, 30, 50}
+	}
+	if samples <= 0 {
+		samples = 1000
+	}
+	pop, err := r.population(circuit, "high", r.cfg.PopSize)
+	if err != nil {
+		return nil, err
+	}
+	r.cfg.logf("Figure 1: sample-maxima distributions on %s…", circuit)
+	out := make([]Figure1Series, 0, len(sizes))
+	for _, n := range sizes {
+		rng := stats.NewRNG(r.cfg.Seed ^ hashString(fmt.Sprintf("fig1/%s/%d", circuit, n)))
+		maxima := make([]float64, samples)
+		for i := range maxima {
+			m := math.Inf(-1)
+			for j := 0; j < n; j++ {
+				if p := pop.SamplePower(rng); p > m {
+					m = p
+				}
+			}
+			maxima[i] = m
+		}
+		series := Figure1Series{N: n, Samples: samples}
+		fit, err := weibull.FitLSQ(maxima)
+		if err == nil {
+			series.Fit = fit
+			series.FitOK = true
+			series.KS = fit.KSAgainst(maxima)
+			series.AD = stats.ADStatistic(maxima, fit.CDF)
+		}
+		// CDF grid between the observed extremes.
+		e := stats.NewECDF(maxima)
+		lo, hi := e.Sorted()[0], e.Sorted()[len(maxima)-1]
+		const gridN = 21
+		for g := 0; g < gridN; g++ {
+			x := lo + (hi-lo)*float64(g)/float64(gridN-1)
+			series.X = append(series.X, x)
+			series.Empirical = append(series.Empirical, e.CDF(x))
+			if series.FitOK {
+				series.Fitted = append(series.Fitted, series.Fit.CDF(x))
+			} else {
+				series.Fitted = append(series.Fitted, math.NaN())
+			}
+		}
+		r.cfg.logf("  n=%d: KS=%.4f fit=%v", n, series.KS, series.FitOK)
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// Figure2Series is one curve of Figure 2: the distribution of the MLE
+// maximum-power estimate for one hyper-sample size m, with its closest
+// normal distribution.
+type Figure2Series struct {
+	M           int
+	Repetitions int
+	// Estimates are the repeated μ̂ values (finite-population corrected,
+	// as used by the full procedure).
+	Estimates []float64
+	// Normal is the least-squares… in practice moment-fitted normal, as
+	// curve fitting a location-scale normal by least squares coincides
+	// with moment fitting for histogram data.
+	Normal stats.Normal
+	// KS measures normality of the estimates ("approximately normal when
+	// m ≥ 10").
+	KS float64
+	// PValue is the asymptotic KS p-value.
+	PValue float64
+}
+
+// Figure2 reproduces Figure 2: the distribution of the estimated maximum
+// power for m = 10 and m = 50 (n = 30), each over `reps` repetitions
+// (paper: 100) on the circuit's unconstrained population (paper: C3540).
+func (r *Runner) Figure2(circuit string, ms []int, reps int) ([]Figure2Series, error) {
+	if len(ms) == 0 {
+		ms = []int{10, 50}
+	}
+	if reps <= 0 {
+		reps = 100
+	}
+	pop, err := r.population(circuit, "high", r.cfg.PopSize)
+	if err != nil {
+		return nil, err
+	}
+	r.cfg.logf("Figure 2: estimator distributions on %s…", circuit)
+	out := make([]Figure2Series, 0, len(ms))
+	for _, m := range ms {
+		est, err := evt.New(pop, evt.Config{SamplesPerHyper: m})
+		if err != nil {
+			return nil, err
+		}
+		rng := stats.NewRNG(r.cfg.Seed ^ hashString(fmt.Sprintf("fig2/%s/%d", circuit, m)))
+		series := Figure2Series{M: m, Repetitions: reps}
+		for i := 0; i < reps; i++ {
+			hs := est.HyperSample(rng)
+			series.Estimates = append(series.Estimates, hs.Estimate)
+		}
+		series.Normal = stats.FitNormal(series.Estimates)
+		series.KS = stats.KSStatistic(series.Estimates, series.Normal.CDF)
+		series.PValue = stats.KSPValue(series.KS, len(series.Estimates))
+		r.cfg.logf("  m=%d: mean=%.3f sd=%.3f KS=%.4f p=%.3f",
+			m, series.Normal.Mu, series.Normal.Sigma, series.KS, series.PValue)
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// MarkdownFigure1 renders Figure 1 as a table of CDF samples per n.
+func MarkdownFigure1(circuit string, series []Figure1Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Figure 1 — Sample-maxima distribution vs Weibull fit (%s)\n\n", circuit)
+	b.WriteString("| n | KS distance | AD (A²) | fitted α | fitted β | fitted μ (mW) |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, s := range series {
+		if s.FitOK {
+			fmt.Fprintf(&b, "| %d | %.4f | %.3f | %.2f | %.4g | %.3f |\n", s.N, s.KS, s.AD, s.Fit.Alpha, s.Fit.Beta, s.Fit.Mu)
+		} else {
+			fmt.Fprintf(&b, "| %d | — | — | fit failed | | |\n", s.N)
+		}
+	}
+	b.WriteString("\nCDF series (power mW → empirical / fitted):\n\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "**n = %d**\n\n", s.N)
+		b.WriteString("| x | empirical F(x) | Weibull fit |\n|---|---|---|\n")
+		for i := range s.X {
+			fmt.Fprintf(&b, "| %.3f | %.3f | %.3f |\n", s.X[i], s.Empirical[i], s.Fitted[i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// MarkdownFigure2 renders Figure 2's summary.
+func MarkdownFigure2(circuit string, series []Figure2Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Figure 2 — Distribution of the MLE estimate vs normal fit (%s)\n\n", circuit)
+	b.WriteString("| m | repetitions | mean μ̂ (mW) | σ(μ̂) | KS vs normal | KS p-value |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "| %d | %d | %.3f | %.4f | %.4f | %.3f |\n",
+			s.M, s.Repetitions, s.Normal.Mu, s.Normal.Sigma, s.KS, s.PValue)
+	}
+	b.WriteString("\nThe paper's claim: the estimator is approximately normal for m ≥ 10, and its\nspread shrinks as m grows (Theorem 3's 1/√m variance).\n")
+	return b.String()
+}

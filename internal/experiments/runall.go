@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// AllResults aggregates every experiment of a run for machine-readable
+// (JSON) consumption — regression tracking, plotting, CI.
+type AllResults struct {
+	PopSize            int    `json:"pop_size"`
+	ConstrainedPopSize int    `json:"constrained_pop_size"`
+	Runs               int    `json:"runs"`
+	Seed               uint64 `json:"seed"`
+	DelayModel         string `json:"delay_model"`
+	FigureCircuit      string `json:"figure_circuit"`
+
+	Figure1   []Figure1Series `json:"figure1"`
+	Figure2   []Figure2Series `json:"figure2"`
+	Table1    []EfficiencyRow `json:"table1"`
+	Table2    []QualityRow    `json:"table2"`
+	Table3    []EfficiencyRow `json:"table3"`
+	Table4    []EfficiencyRow `json:"table4"`
+	Baselines []BaselineRow   `json:"baselines"`
+}
+
+// RunAll executes every experiment and collects the typed results.
+// figCircuit selects the Figure 1/2 circuit (the paper uses C3540).
+func (r *Runner) RunAll(figCircuit string) (*AllResults, error) {
+	cfg := r.cfg
+	out := &AllResults{
+		PopSize:            cfg.PopSize,
+		ConstrainedPopSize: cfg.ConstrainedPopSize,
+		Runs:               cfg.Runs,
+		Seed:               cfg.Seed,
+		DelayModel:         cfg.DelayModel,
+		FigureCircuit:      figCircuit,
+	}
+	var err error
+	if out.Figure1, err = r.Figure1(figCircuit, nil, 1000); err != nil {
+		return nil, err
+	}
+	if out.Figure2, err = r.Figure2(figCircuit, nil, 100); err != nil {
+		return nil, err
+	}
+	if out.Table1, err = r.Table1(); err != nil {
+		return nil, err
+	}
+	if out.Table2, err = r.Table2(); err != nil {
+		return nil, err
+	}
+	if out.Table3, err = r.Table3(); err != nil {
+		return nil, err
+	}
+	if out.Table4, err = r.Table4(); err != nil {
+		return nil, err
+	}
+	if out.Baselines, err = r.Baselines(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteJSON serializes the results with indentation.
+func (a *AllResults) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}

@@ -1,0 +1,146 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseBench reads a circuit in the ISCAS-85 ".bench" format:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G22)
+//	G10 = NAND(G1, G3)
+//
+// Gate type tokens are case-insensitive. The circuit name is taken from the
+// argument (the format itself carries none).
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	type protoGate struct {
+		name   string
+		kind   Kind
+		fanins []string
+		line   int
+	}
+	var (
+		protos      []protoGate
+		inputNames  []string
+		outputNames []string
+		lineNo      int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "INPUT ("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: %s line %d: %w", name, lineNo, err)
+			}
+			inputNames = append(inputNames, arg)
+			protos = append(protos, protoGate{name: arg, kind: Input, line: lineNo})
+		case strings.HasPrefix(upper, "OUTPUT(") || strings.HasPrefix(upper, "OUTPUT ("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: %s line %d: %w", name, lineNo, err)
+			}
+			outputNames = append(outputNames, arg)
+		case strings.Contains(line, "="):
+			eq := strings.Index(line, "=")
+			gname := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if gname == "" || open <= 0 || close < open {
+				return nil, fmt.Errorf("netlist: %s line %d: malformed gate definition %q", name, lineNo, line)
+			}
+			kindTok := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			kind, ok := KindFromString(kindTok)
+			if !ok || kind == Input {
+				return nil, fmt.Errorf("netlist: %s line %d: unknown gate type %q", name, lineNo, kindTok)
+			}
+			var fanins []string
+			for _, tok := range strings.Split(rhs[open+1:close], ",") {
+				tok = strings.TrimSpace(tok)
+				if tok == "" {
+					return nil, fmt.Errorf("netlist: %s line %d: empty fan-in", name, lineNo)
+				}
+				fanins = append(fanins, tok)
+			}
+			protos = append(protos, protoGate{name: gname, kind: kind, fanins: fanins, line: lineNo})
+		default:
+			return nil, fmt.Errorf("netlist: %s line %d: unrecognized line %q", name, lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %s: %w", name, err)
+	}
+
+	index := make(map[string]int, len(protos))
+	for i, p := range protos {
+		if _, dup := index[p.name]; dup {
+			return nil, fmt.Errorf("netlist: %s line %d: duplicate gate %q", name, p.line, p.name)
+		}
+		index[p.name] = i
+	}
+	gates := make([]Gate, len(protos))
+	for i, p := range protos {
+		g := Gate{Name: p.name, Kind: p.kind}
+		for _, fn := range p.fanins {
+			fi, ok := index[fn]
+			if !ok {
+				return nil, fmt.Errorf("netlist: %s line %d: gate %q references undefined signal %q", name, p.line, p.name, fn)
+			}
+			g.Fanin = append(g.Fanin, fi)
+		}
+		gates[i] = g
+	}
+	return NewCircuit(name, gates, inputNames, outputNames)
+}
+
+// parenArg extracts X from "KEYWORD(X)".
+func parenArg(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed directive %q", line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return arg, nil
+}
+
+// WriteBench serializes the circuit in .bench format. Round-tripping
+// through ParseBench reproduces an equivalent circuit.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", c.NumInputs(), c.NumOutputs(), c.NumLogicGates())
+	for _, i := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[i].Name)
+	}
+	for _, o := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[o].Name)
+	}
+	for _, g := range c.Gates {
+		if g.Kind == Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for j, f := range g.Fanin {
+			names[j] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Kind, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

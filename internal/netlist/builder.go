@@ -1,0 +1,143 @@
+package netlist
+
+import "fmt"
+
+// Builder incrementally constructs a circuit in topological order. It is
+// the tool used by the structural generators in internal/bench: every
+// Add* call returns the new gate's index, and fan-ins must refer to
+// already-added gates, so the topological invariant holds by construction.
+type Builder struct {
+	name    string
+	gates   []Gate
+	inputs  []int
+	outputs []int
+	names   map[string]struct{}
+	auto    int
+}
+
+// NewBuilder returns an empty builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, names: make(map[string]struct{})}
+}
+
+// freshName returns name if non-empty and unused, otherwise a generated
+// unique name with the given prefix.
+func (b *Builder) freshName(name, prefix string) string {
+	if name == "" {
+		for {
+			b.auto++
+			name = fmt.Sprintf("%s%d", prefix, b.auto)
+			if _, used := b.names[name]; !used {
+				break
+			}
+		}
+	}
+	if _, used := b.names[name]; used {
+		panic(fmt.Sprintf("netlist: duplicate gate name %q", name))
+	}
+	b.names[name] = struct{}{}
+	return name
+}
+
+// Input adds a primary input and returns its index.
+func (b *Builder) Input(name string) int {
+	name = b.freshName(name, "in")
+	idx := len(b.gates)
+	b.gates = append(b.gates, Gate{Name: name, Kind: Input})
+	b.inputs = append(b.inputs, idx)
+	return idx
+}
+
+// Inputs adds n primary inputs named prefix0..prefix(n-1).
+func (b *Builder) Inputs(prefix string, n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = b.Input(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return idx
+}
+
+// Gate adds a logic gate with the given kind and fan-ins, returning its
+// index. Fan-in indices must already exist. A generated name is used when
+// name is empty.
+func (b *Builder) Gate(kind Kind, name string, fanin ...int) int {
+	if kind == Input {
+		panic("netlist: use Builder.Input for primary inputs")
+	}
+	if len(fanin) == 0 {
+		panic("netlist: gate needs fan-in")
+	}
+	if (kind == Not || kind == Buf) && len(fanin) != 1 {
+		panic(fmt.Sprintf("netlist: %v takes exactly one fan-in", kind))
+	}
+	idx := len(b.gates)
+	for _, f := range fanin {
+		if f < 0 || f >= idx {
+			panic(fmt.Sprintf("netlist: fan-in %d not yet defined", f))
+		}
+	}
+	name = b.freshName(name, "g")
+	b.gates = append(b.gates, Gate{Name: name, Kind: kind, Fanin: append([]int(nil), fanin...)})
+	return idx
+}
+
+// Convenience wrappers over Gate with auto-generated names.
+
+// And adds an AND gate.
+func (b *Builder) And(fanin ...int) int { return b.Gate(And, "", fanin...) }
+
+// Nand adds a NAND gate.
+func (b *Builder) Nand(fanin ...int) int { return b.Gate(Nand, "", fanin...) }
+
+// Or adds an OR gate.
+func (b *Builder) Or(fanin ...int) int { return b.Gate(Or, "", fanin...) }
+
+// Nor adds a NOR gate.
+func (b *Builder) Nor(fanin ...int) int { return b.Gate(Nor, "", fanin...) }
+
+// Xor adds an XOR gate.
+func (b *Builder) Xor(fanin ...int) int { return b.Gate(Xor, "", fanin...) }
+
+// Xnor adds an XNOR gate.
+func (b *Builder) Xnor(fanin ...int) int { return b.Gate(Xnor, "", fanin...) }
+
+// Not adds an inverter.
+func (b *Builder) Not(fanin int) int { return b.Gate(Not, "", fanin) }
+
+// Buf adds a buffer.
+func (b *Builder) Buf(fanin int) int { return b.Gate(Buf, "", fanin) }
+
+// Output marks an existing gate as a primary output.
+func (b *Builder) Output(idx int) {
+	if idx < 0 || idx >= len(b.gates) {
+		panic("netlist: output index out of range")
+	}
+	b.outputs = append(b.outputs, idx)
+}
+
+// NumGates returns the number of gates added so far.
+func (b *Builder) NumGates() int { return len(b.gates) }
+
+// Build finalizes the circuit and validates it.
+func (b *Builder) Build() (*Circuit, error) {
+	c := &Circuit{
+		Name:    b.name,
+		Gates:   b.gates,
+		Inputs:  b.inputs,
+		Outputs: b.outputs,
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustBuild is Build that panics on error; generators use it because their
+// construction is correct by design.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

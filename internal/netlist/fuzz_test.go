@@ -1,0 +1,52 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench exercises the .bench parser with arbitrary input: it must
+// never panic, and any circuit it accepts must validate and round-trip
+// through WriteBench.
+func FuzzParseBench(f *testing.F) {
+	seeds := []string{
+		sampleBench,
+		"",
+		"# only a comment\n",
+		"INPUT(a)\n",
+		"INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n",
+		"INPUT(a)\nb = BUF(a)\nc = XNOR(a, b)\nOUTPUT(c)\n",
+		"INPUT(a)\nb = AND(a, a)\n",
+		"INPUT(a)\nOUTPUT(a)\n",
+		"INPUT (x)\ny = nand( x , x )\nOUTPUT (y)\n",
+		"garbage\n",
+		"a = AND(b, c)\n",
+		"INPUT(a)\na = NOT(a)\n",
+		"INPUT(é)\nz = NOT(é)\nOUTPUT(z)\n",
+		strings.Repeat("INPUT(a)\n", 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseBench("fuzz", strings.NewReader(src))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted circuit fails validation: %v\ninput: %q", err, src)
+		}
+		var sb strings.Builder
+		if err := WriteBench(&sb, c); err != nil {
+			t.Fatalf("serialize: %v", err)
+		}
+		back, err := ParseBench("fuzz2", strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nserialized: %q", err, sb.String())
+		}
+		if back.NumLogicGates() != c.NumLogicGates() || back.NumInputs() != c.NumInputs() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.NumInputs(), back.NumLogicGates(), c.NumInputs(), c.NumLogicGates())
+		}
+	})
+}

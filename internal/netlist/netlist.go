@@ -1,0 +1,441 @@
+// Package netlist defines the gate-level circuit representation used by the
+// rest of the repository: combinational circuits built from basic gates,
+// the ISCAS-85 ".bench" interchange format, structural validation, and the
+// levelization/fanout analyses the simulator and delay models consume.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind identifies a gate function.
+type Kind uint8
+
+// Gate kinds. Input is a primary-input placeholder node; it has no fan-in.
+const (
+	Input Kind = iota
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	numKinds
+)
+
+var kindNames = [...]string{
+	Input: "INPUT",
+	Buf:   "BUFF",
+	Not:   "NOT",
+	And:   "AND",
+	Nand:  "NAND",
+	Or:    "OR",
+	Nor:   "NOR",
+	Xor:   "XOR",
+	Xnor:  "XNOR",
+}
+
+// String returns the canonical (ISCAS-85 .bench) name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindFromString parses a .bench gate-type token (case-insensitive callers
+// should upper-case first). BUF and BUFF are synonyms.
+func KindFromString(s string) (Kind, bool) {
+	switch s {
+	case "INPUT":
+		return Input, true
+	case "BUF", "BUFF":
+		return Buf, true
+	case "NOT", "INV":
+		return Not, true
+	case "AND":
+		return And, true
+	case "NAND":
+		return Nand, true
+	case "OR":
+		return Or, true
+	case "NOR":
+		return Nor, true
+	case "XOR":
+		return Xor, true
+	case "XNOR":
+		return Xnor, true
+	}
+	return 0, false
+}
+
+// Eval computes the gate function over the fan-in values. For Input it
+// panics (inputs are driven externally). A gate with no fan-ins is invalid
+// and also panics.
+func (k Kind) Eval(in []bool) bool {
+	if len(in) == 0 {
+		panic("netlist: Eval of gate with no fan-in")
+	}
+	switch k {
+	case Buf:
+		return in[0]
+	case Not:
+		return !in[0]
+	case And, Nand:
+		v := true
+		for _, b := range in {
+			v = v && b
+		}
+		if k == Nand {
+			return !v
+		}
+		return v
+	case Or, Nor:
+		v := false
+		for _, b := range in {
+			v = v || b
+		}
+		if k == Nor {
+			return !v
+		}
+		return v
+	case Xor, Xnor:
+		v := false
+		for _, b := range in {
+			v = v != b
+		}
+		if k == Xnor {
+			return !v
+		}
+		return v
+	}
+	panic("netlist: Eval of non-logic kind " + k.String())
+}
+
+// Gate is one node of a circuit. Fanin holds indices into Circuit.Gates.
+type Gate struct {
+	Name  string
+	Kind  Kind
+	Fanin []int
+}
+
+// Circuit is a combinational gate-level netlist. Gates must be stored in
+// topological order (every fan-in index is smaller than the gate's own
+// index); NewCircuit and the .bench parser establish this invariant.
+type Circuit struct {
+	Name    string
+	Gates   []Gate
+	Inputs  []int // indices of Input gates, in declaration order
+	Outputs []int // indices of primary-output gates
+
+	fanoutCount []int   // cached fanout counts
+	fanout      [][]int // cached fanout adjacency
+	levels      []int   // cached levelization
+}
+
+// NewCircuit assembles a circuit from gates in arbitrary order, reordering
+// them topologically. outputs lists gate names driving primary outputs.
+// It returns an error for unknown fan-in names, duplicate names, cycles,
+// or malformed gates (e.g. an AND with no fan-in).
+func NewCircuit(name string, gates []Gate, inputNames, outputNames []string) (*Circuit, error) {
+	c, err := assemble(name, gates, inputNames, outputNames)
+	if err != nil {
+		return nil, fmt.Errorf("netlist: circuit %q: %w", name, err)
+	}
+	return c, nil
+}
+
+func assemble(name string, gates []Gate, inputNames, outputNames []string) (*Circuit, error) {
+	// This path is used by the parser; structural generators use Builder,
+	// which maintains topological order by construction.
+	byName := make(map[string]int, len(gates))
+	for i, g := range gates {
+		if g.Name == "" {
+			return nil, fmt.Errorf("gate %d has empty name", i)
+		}
+		if _, dup := byName[g.Name]; dup {
+			return nil, fmt.Errorf("duplicate gate name %q", g.Name)
+		}
+		byName[g.Name] = i
+	}
+	for _, in := range inputNames {
+		i, ok := byName[in]
+		if !ok {
+			return nil, fmt.Errorf("declared input %q has no gate", in)
+		}
+		if gates[i].Kind != Input {
+			return nil, fmt.Errorf("declared input %q is a %v gate", in, gates[i].Kind)
+		}
+	}
+
+	// Kahn topological sort over the original indices.
+	n := len(gates)
+	indeg := make([]int, n)
+	adj := make([][]int, n)
+	for i, g := range gates {
+		if g.Kind == Input && len(g.Fanin) != 0 {
+			return nil, fmt.Errorf("input %q has fan-in", g.Name)
+		}
+		if g.Kind != Input && len(g.Fanin) == 0 {
+			return nil, fmt.Errorf("gate %q (%v) has no fan-in", g.Name, g.Kind)
+		}
+		if (g.Kind == Not || g.Kind == Buf) && len(g.Fanin) != 1 {
+			return nil, fmt.Errorf("gate %q (%v) must have exactly one fan-in", g.Name, g.Kind)
+		}
+		indeg[i] = len(g.Fanin)
+		for _, f := range g.Fanin {
+			if f < 0 || f >= n {
+				return nil, fmt.Errorf("gate %q has out-of-range fan-in %d", g.Name, f)
+			}
+			adj[f] = append(adj[f], i)
+		}
+	}
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("circuit contains a combinational cycle")
+	}
+
+	// Remap into topological order.
+	newIndex := make([]int, n)
+	for newI, oldI := range order {
+		newIndex[oldI] = newI
+	}
+	out := make([]Gate, n)
+	for oldI, g := range gates {
+		ng := Gate{Name: g.Name, Kind: g.Kind, Fanin: make([]int, len(g.Fanin))}
+		for j, f := range g.Fanin {
+			ng.Fanin[j] = newIndex[f]
+		}
+		out[newIndex[oldI]] = ng
+	}
+	c := &Circuit{Name: name, Gates: out}
+	for _, in := range inputNames {
+		c.Inputs = append(c.Inputs, newIndex[byName[in]])
+	}
+	for _, o := range outputNames {
+		i, ok := byName[o]
+		if !ok {
+			return nil, fmt.Errorf("declared output %q has no gate", o)
+		}
+		c.Outputs = append(c.Outputs, newIndex[i])
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Validate checks the structural invariants: topological gate order,
+// declared inputs are Input gates, all Input gates are declared, fan-in
+// arities are legal, and output indices are in range.
+func (c *Circuit) Validate() error {
+	declared := make(map[int]bool, len(c.Inputs))
+	for _, i := range c.Inputs {
+		if i < 0 || i >= len(c.Gates) {
+			return fmt.Errorf("netlist: input index %d out of range", i)
+		}
+		if c.Gates[i].Kind != Input {
+			return fmt.Errorf("netlist: declared input %q is a %v gate", c.Gates[i].Name, c.Gates[i].Kind)
+		}
+		if declared[i] {
+			return fmt.Errorf("netlist: input %q declared twice", c.Gates[i].Name)
+		}
+		declared[i] = true
+	}
+	for i, g := range c.Gates {
+		switch {
+		case g.Kind == Input:
+			if len(g.Fanin) != 0 {
+				return fmt.Errorf("netlist: input %q has fan-in", g.Name)
+			}
+			if !declared[i] {
+				return fmt.Errorf("netlist: input gate %q not in Inputs list", g.Name)
+			}
+		case len(g.Fanin) == 0:
+			return fmt.Errorf("netlist: gate %q (%v) has no fan-in", g.Name, g.Kind)
+		case (g.Kind == Not || g.Kind == Buf) && len(g.Fanin) != 1:
+			return fmt.Errorf("netlist: gate %q (%v) must have one fan-in", g.Name, g.Kind)
+		}
+		for _, f := range g.Fanin {
+			if f < 0 || f >= len(c.Gates) {
+				return fmt.Errorf("netlist: gate %q fan-in out of range", g.Name)
+			}
+			if f >= i {
+				return fmt.Errorf("netlist: gate %q breaks topological order", g.Name)
+			}
+		}
+	}
+	for _, o := range c.Outputs {
+		if o < 0 || o >= len(c.Gates) {
+			return fmt.Errorf("netlist: output index %d out of range", o)
+		}
+	}
+	return nil
+}
+
+// NumGates returns the total node count including primary inputs.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// NumLogicGates returns the number of non-Input gates.
+func (c *Circuit) NumLogicGates() int { return len(c.Gates) - len(c.Inputs) }
+
+// NumInputs returns the primary-input count.
+func (c *Circuit) NumInputs() int { return len(c.Inputs) }
+
+// NumOutputs returns the primary-output count.
+func (c *Circuit) NumOutputs() int { return len(c.Outputs) }
+
+// FanoutCounts returns, for each gate index, the number of gates it feeds.
+// Primary outputs add one additional load each (the output pad). The result
+// is cached and must not be modified by callers.
+func (c *Circuit) FanoutCounts() []int {
+	if c.fanoutCount != nil {
+		return c.fanoutCount
+	}
+	counts := make([]int, len(c.Gates))
+	for _, g := range c.Gates {
+		for _, f := range g.Fanin {
+			counts[f]++
+		}
+	}
+	for _, o := range c.Outputs {
+		counts[o]++
+	}
+	c.fanoutCount = counts
+	return counts
+}
+
+// Fanouts returns the fanout adjacency: Fanouts()[i] lists the gate indices
+// whose fan-in includes i. The result is cached and must not be modified.
+func (c *Circuit) Fanouts() [][]int {
+	if c.fanout != nil {
+		return c.fanout
+	}
+	adj := make([][]int, len(c.Gates))
+	for i, g := range c.Gates {
+		for _, f := range g.Fanin {
+			adj[f] = append(adj[f], i)
+		}
+	}
+	c.fanout = adj
+	return adj
+}
+
+// Levels returns the logic depth of each gate: inputs are level 0 and every
+// other gate is 1 + max(level of fan-ins). The result is cached.
+func (c *Circuit) Levels() []int {
+	if c.levels != nil {
+		return c.levels
+	}
+	lv := make([]int, len(c.Gates))
+	for i, g := range c.Gates {
+		if g.Kind == Input {
+			continue
+		}
+		maxIn := 0
+		for _, f := range g.Fanin {
+			if lv[f] > maxIn {
+				maxIn = lv[f]
+			}
+		}
+		lv[i] = maxIn + 1
+	}
+	c.levels = lv
+	return lv
+}
+
+// Depth returns the maximum logic level in the circuit.
+func (c *Circuit) Depth() int {
+	d := 0
+	for _, l := range c.Levels() {
+		if l > d {
+			d = l
+		}
+	}
+	return d
+}
+
+// Stats summarizes a circuit's structure.
+type Stats struct {
+	Name       string
+	Inputs     int
+	Outputs    int
+	LogicGates int
+	Depth      int
+	KindCounts map[string]int
+	MaxFanout  int
+	AvgFanout  float64
+}
+
+// ComputeStats gathers a Stats summary of the circuit.
+func (c *Circuit) ComputeStats() Stats {
+	s := Stats{
+		Name:       c.Name,
+		Inputs:     c.NumInputs(),
+		Outputs:    c.NumOutputs(),
+		LogicGates: c.NumLogicGates(),
+		Depth:      c.Depth(),
+		KindCounts: make(map[string]int),
+	}
+	for _, g := range c.Gates {
+		if g.Kind != Input {
+			s.KindCounts[g.Kind.String()]++
+		}
+	}
+	counts := c.FanoutCounts()
+	var total int
+	for i, n := range counts {
+		if c.Gates[i].Kind == Input {
+			continue
+		}
+		total += n
+		if n > s.MaxFanout {
+			s.MaxFanout = n
+		}
+	}
+	if s.LogicGates > 0 {
+		s.AvgFanout = float64(total) / float64(s.LogicGates)
+	}
+	return s
+}
+
+// GateIndex returns the index of the named gate, or -1.
+func (c *Circuit) GateIndex(name string) int {
+	for i, g := range c.Gates {
+		if g.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SortedKindNames returns the kind names present in the stats map, sorted,
+// for deterministic printing.
+func (s Stats) SortedKindNames() []string {
+	names := make([]string, 0, len(s.KindCounts))
+	for k := range s.KindCounts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,351 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// tiny builds a 2-input test circuit: y = NAND(a, b), z = XOR(y, a).
+func tiny(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("tiny")
+	a := b.Input("a")
+	bb := b.Input("b")
+	y := b.Gate(Nand, "y", a, bb)
+	z := b.Gate(Xor, "z", y, a)
+	b.Output(z)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestKindEvalTruthTables(t *testing.T) {
+	tt := []struct {
+		kind Kind
+		in   []bool
+		want bool
+	}{
+		{And, []bool{true, true}, true},
+		{And, []bool{true, false}, false},
+		{Nand, []bool{true, true}, false},
+		{Nand, []bool{false, true}, true},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{false, true}, true},
+		{Nor, []bool{false, false}, true},
+		{Nor, []bool{true, false}, false},
+		{Xor, []bool{true, true}, false},
+		{Xor, []bool{true, false}, true},
+		{Xor, []bool{true, true, true}, true},
+		{Xnor, []bool{true, false}, false},
+		{Xnor, []bool{false, false}, true},
+		{Not, []bool{true}, false},
+		{Not, []bool{false}, true},
+		{Buf, []bool{true}, true},
+		{And, []bool{true, true, true, false}, false},
+		{Or, []bool{false, false, false, true}, true},
+	}
+	for _, c := range tt {
+		if got := c.kind.Eval(c.in); got != c.want {
+			t.Errorf("%v%v = %v, want %v", c.kind, c.in, got, c.want)
+		}
+	}
+}
+
+func TestKindEvalDeMorganProperty(t *testing.T) {
+	// NAND(a,b) == OR(!a,!b), NOR(a,b) == AND(!a,!b) for all widths ≤ 6.
+	if err := quick.Check(func(bits uint8, widthRaw uint8) bool {
+		width := int(widthRaw%5) + 2
+		in := make([]bool, width)
+		inv := make([]bool, width)
+		for i := range in {
+			in[i] = bits&(1<<i) != 0
+			inv[i] = !in[i]
+		}
+		return Nand.Eval(in) == Or.Eval(inv) && Nor.Eval(in) == And.Eval(inv)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindEvalPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { And.Eval(nil) },
+		func() { Input.Eval([]bool{true}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Input; k < numKinds; k++ {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("round trip failed for %v", k)
+		}
+	}
+	if _, ok := KindFromString("FLIPFLOP"); ok {
+		t.Error("unknown kind parsed")
+	}
+	// Synonyms.
+	if k, ok := KindFromString("BUF"); !ok || k != Buf {
+		t.Error("BUF synonym")
+	}
+	if k, ok := KindFromString("INV"); !ok || k != Not {
+		t.Error("INV synonym")
+	}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	c := tiny(t)
+	if c.NumInputs() != 2 || c.NumOutputs() != 1 || c.NumLogicGates() != 2 {
+		t.Fatalf("unexpected shape: %d in %d out %d gates", c.NumInputs(), c.NumOutputs(), c.NumLogicGates())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GateIndex("y"); got < 0 || c.Gates[got].Kind != Nand {
+		t.Errorf("GateIndex(y) = %d", got)
+	}
+	if got := c.GateIndex("missing"); got != -1 {
+		t.Errorf("GateIndex(missing) = %d", got)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := map[string]func(b *Builder){
+		"dup name":       func(b *Builder) { b.Input("a"); b.Input("a") },
+		"no fanin":       func(b *Builder) { b.Gate(And, "g") },
+		"not arity":      func(b *Builder) { x := b.Input("a"); y := b.Input("b"); b.Gate(Not, "n", x, y) },
+		"input via gate": func(b *Builder) { b.Gate(Input, "x") },
+		"fwd ref":        func(b *Builder) { i := b.Input("a"); b.Gate(And, "g", i, 99) },
+		"bad output":     func(b *Builder) { b.Output(5) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f(NewBuilder("p"))
+		}()
+	}
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	c := tiny(t)
+	lv := c.Levels()
+	if lv[c.GateIndex("a")] != 0 || lv[c.GateIndex("b")] != 0 {
+		t.Error("inputs must be level 0")
+	}
+	if lv[c.GateIndex("y")] != 1 {
+		t.Errorf("level(y) = %d", lv[c.GateIndex("y")])
+	}
+	if lv[c.GateIndex("z")] != 2 {
+		t.Errorf("level(z) = %d", lv[c.GateIndex("z")])
+	}
+	if c.Depth() != 2 {
+		t.Errorf("depth = %d", c.Depth())
+	}
+}
+
+func TestFanoutCounts(t *testing.T) {
+	c := tiny(t)
+	counts := c.FanoutCounts()
+	// a feeds y and z; y feeds z; z is an output (pad load).
+	if counts[c.GateIndex("a")] != 2 {
+		t.Errorf("fanout(a) = %d", counts[c.GateIndex("a")])
+	}
+	if counts[c.GateIndex("y")] != 1 {
+		t.Errorf("fanout(y) = %d", counts[c.GateIndex("y")])
+	}
+	if counts[c.GateIndex("z")] != 1 {
+		t.Errorf("fanout(z) = %d, want pad load 1", counts[c.GateIndex("z")])
+	}
+	adj := c.Fanouts()
+	if len(adj[c.GateIndex("a")]) != 2 {
+		t.Errorf("fanout adjacency of a = %v", adj[c.GateIndex("a")])
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := tiny(t)
+	s := c.ComputeStats()
+	if s.LogicGates != 2 || s.Depth != 2 || s.Inputs != 2 || s.Outputs != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.KindCounts["NAND"] != 1 || s.KindCounts["XOR"] != 1 {
+		t.Errorf("kind counts = %v", s.KindCounts)
+	}
+	names := s.SortedKindNames()
+	if len(names) != 2 || names[0] != "NAND" {
+		t.Errorf("sorted kinds = %v", names)
+	}
+}
+
+func TestNewCircuitTopologicalReorder(t *testing.T) {
+	// Deliberately out-of-order gate list; NewCircuit must topo-sort it.
+	gates := []Gate{
+		{Name: "z", Kind: Xor, Fanin: []int{2, 1}}, // z = XOR(y, a)
+		{Name: "a", Kind: Input},
+		{Name: "y", Kind: Nand, Fanin: []int{1, 3}}, // y = NAND(a, b)
+		{Name: "b", Kind: Input},
+	}
+	c, err := NewCircuit("ooo", gates, []string{"a", "b"}, []string{"z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Depth() != 2 {
+		t.Errorf("depth = %d", c.Depth())
+	}
+}
+
+func TestNewCircuitRejectsCycle(t *testing.T) {
+	gates := []Gate{
+		{Name: "a", Kind: Input},
+		{Name: "p", Kind: And, Fanin: []int{0, 2}},
+		{Name: "q", Kind: Or, Fanin: []int{1, 0}},
+	}
+	if _, err := NewCircuit("cyc", gates, []string{"a"}, nil); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestNewCircuitRejectsBadShapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		gates   []Gate
+		inputs  []string
+		outputs []string
+	}{
+		{"dup name", []Gate{{Name: "a", Kind: Input}, {Name: "a", Kind: Input}}, []string{"a"}, nil},
+		{"empty name", []Gate{{Name: "", Kind: Input}}, nil, nil},
+		{"missing input decl", []Gate{{Name: "a", Kind: Input}}, []string{"zz"}, nil},
+		{"input with fanin", []Gate{{Name: "a", Kind: Input, Fanin: []int{0}}}, []string{"a"}, nil},
+		{"gate no fanin", []Gate{{Name: "a", Kind: Input}, {Name: "g", Kind: And}}, []string{"a"}, nil},
+		{"missing output", []Gate{{Name: "a", Kind: Input}}, []string{"a"}, []string{"nope"}},
+		{"undeclared input gate", []Gate{{Name: "a", Kind: Input}, {Name: "b", Kind: Input}}, []string{"a"}, nil},
+		{"out of range fanin", []Gate{{Name: "a", Kind: Input}, {Name: "g", Kind: And, Fanin: []int{0, 9}}}, []string{"a"}, nil},
+	}
+	for _, c := range cases {
+		if _, err := NewCircuit(c.name, c.gates, c.inputs, c.outputs); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+const sampleBench = `
+# simple test circuit
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G8)
+OUTPUT(G9)
+
+G5 = NAND(G1, G2)
+G6 = nor(G2, G3)
+G7 = NOT(G5)
+G8 = XOR(G7, G6)
+G9 = BUFF(G5)
+`
+
+func TestParseBench(t *testing.T) {
+	c, err := ParseBench("sample", strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 3 || c.NumOutputs() != 2 || c.NumLogicGates() != 5 {
+		t.Fatalf("shape: %d/%d/%d", c.NumInputs(), c.NumOutputs(), c.NumLogicGates())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Depth() != 3 {
+		t.Errorf("depth = %d, want 3 (G8 = XOR(NOT(NAND), NOR))", c.Depth())
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined signal":  "INPUT(a)\ng = AND(a, ghost)\n",
+		"unknown gate type": "INPUT(a)\ng = MAJORITY(a, a)\n",
+		"garbage line":      "INPUT(a)\nthis is not bench\n",
+		"malformed define":  "INPUT(a)\ng = AND a\n",
+		"empty fanin":       "INPUT(a)\ng = AND(a, )\n",
+		"dup gate":          "INPUT(a)\ng = NOT(a)\ng = NOT(a)\n",
+		"empty input name":  "INPUT()\n",
+		"input as gate":     "INPUT(a)\ng = INPUT(a)\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseBench(name, strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	orig, err := ParseBench("sample", strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteBench(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBench("sample", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, sb.String())
+	}
+	if back.NumInputs() != orig.NumInputs() || back.NumOutputs() != orig.NumOutputs() ||
+		back.NumLogicGates() != orig.NumLogicGates() || back.Depth() != orig.Depth() {
+		t.Error("round trip changed circuit shape")
+	}
+	// Same functional behaviour on all 8 input patterns.
+	for pattern := 0; pattern < 8; pattern++ {
+		in := make([]bool, 3)
+		for i := range in {
+			in[i] = pattern&(1<<i) != 0
+		}
+		a := evalAll(orig, in)
+		b := evalAll(back, in)
+		for i := range orig.Outputs {
+			if a[orig.Outputs[i]] != b[back.Outputs[i]] {
+				t.Fatalf("pattern %d output %d differs", pattern, i)
+			}
+		}
+	}
+}
+
+// evalAll computes steady-state values for all gates given input values in
+// declaration order (test helper; the real simulator lives in internal/sim).
+func evalAll(c *Circuit, inputs []bool) []bool {
+	vals := make([]bool, len(c.Gates))
+	for i, idx := range c.Inputs {
+		vals[idx] = inputs[i]
+	}
+	buf := make([]bool, 0, 8)
+	for i, g := range c.Gates {
+		if g.Kind == Input {
+			continue
+		}
+		buf = buf[:0]
+		for _, f := range g.Fanin {
+			buf = append(buf, vals[f])
+		}
+		vals[i] = g.Kind.Eval(buf)
+	}
+	return vals
+}

@@ -1,0 +1,62 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+)
+
+func TestZeroDelayBatchMatchesSerial(t *testing.T) {
+	c := bench.MustGenerate("C1908")
+	e := NewEvaluator(c, delay.Zero{}, Params{})
+	nIn := c.NumInputs()
+	pattern := func(seed uint64) []bool {
+		v := make([]bool, nIn)
+		x := seed
+		for i := range v {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			v[i] = x&1 != 0
+		}
+		return v
+	}
+	const lanes = 50
+	v1s := make([][]bool, lanes)
+	v2s := make([][]bool, lanes)
+	for l := 0; l < lanes; l++ {
+		v1s[l] = pattern(uint64(3*l + 1))
+		v2s[l] = pattern(uint64(3*l + 2))
+	}
+	batch, err := e.ZeroDelayBatchMW(v1s, v2s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != lanes {
+		t.Fatalf("%d results", len(batch))
+	}
+	for l := 0; l < lanes; l++ {
+		want := e.CyclePowerMW(v1s[l], v2s[l])
+		if batch[l] != want {
+			t.Fatalf("lane %d: batch %v serial %v", l, batch[l], want)
+		}
+	}
+}
+
+func TestZeroDelayBatchRejectsTimed(t *testing.T) {
+	c := bench.MustGenerate("C432")
+	e := NewEvaluator(c, delay.FanoutLoaded{}, Params{})
+	if e.ZeroDelay() {
+		t.Fatal("fanout evaluator claims zero delay")
+	}
+	v := make([]bool, c.NumInputs())
+	if _, err := e.ZeroDelayBatchMW([][]bool{v}, [][]bool{v}); err == nil {
+		t.Fatal("timed evaluator accepted batch call")
+	}
+	// Mismatched batch sizes.
+	e0 := NewEvaluator(c, delay.Zero{}, Params{})
+	if _, err := e0.ZeroDelayBatchMW([][]bool{v}, nil); err == nil {
+		t.Fatal("mismatched batch accepted")
+	}
+}

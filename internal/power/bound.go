@@ -1,0 +1,61 @@
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// UpperBoundMW computes a structural upper bound on the zero-delay maximum
+// cycle power in the spirit of the uncertainty-propagation bounds of
+// Kriplani, Najm & Hajj [2]: a gate's output can toggle during a cycle
+// only if at least one of its fan-ins can toggle, so propagating per-input
+// "can toggle" flags through the netlist and charging every potentially
+// toggling node its full transition energy bounds the true maximum from
+// above. transitionProbs gives the per-input transition probabilities of
+// the population (Category I.2); inputs with probability 0 cannot toggle
+// and prune the cone they exclusively drive. Pass nil for the
+// unconstrained case (every input may toggle).
+//
+// The bound is loose — that is its nature and the paper's critique of
+// bound-based methods — but it is sound for zero-delay power and
+// arbitrarily-constrained inputs, making it the cheap sanity ceiling for
+// the statistical estimate.
+func UpperBoundMW(c *netlist.Circuit, p Params, transitionProbs []float64) (float64, error) {
+	if p == (Params{}) {
+		p = Defaults()
+	}
+	if transitionProbs != nil && len(transitionProbs) != c.NumInputs() {
+		return 0, fmt.Errorf("power: %d transition probabilities for %d inputs",
+			len(transitionProbs), c.NumInputs())
+	}
+	canToggle := make([]bool, c.NumGates())
+	for i, idx := range c.Inputs {
+		if transitionProbs == nil || transitionProbs[i] > 0 {
+			canToggle[idx] = true
+		}
+	}
+	for i, g := range c.Gates {
+		if g.Kind == netlist.Input {
+			continue
+		}
+		for _, f := range g.Fanin {
+			if canToggle[f] {
+				canToggle[i] = true
+				break
+			}
+		}
+	}
+
+	caps := NodeCapsF(c, p)
+	k := 0.5 * p.Vdd * p.Vdd * (1 + p.SCFraction) * 1e-15
+	var energy float64
+	for i, ok := range canToggle {
+		if ok {
+			energy += k * caps[i]
+		}
+	}
+	leakW := p.LeakNW * 1e-9 * float64(c.NumLogicGates())
+	clockS := p.ClockNS * 1e-9
+	return (energy/clockS + leakW) * 1e3, nil
+}

@@ -1,0 +1,112 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+	"repro/internal/netlist"
+)
+
+func TestUpperBoundDominatesExact(t *testing.T) {
+	// The sandwich: structural upper bound ≥ exact BDD maximum ≥ any
+	// sampled power, all under zero delay.
+	c, err := bench.RandomCircuit(bench.RandomOptions{Inputs: 6, Outputs: 3, Gates: 50, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := UpperBoundMW(c, Params{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _, err := ExactZeroDelayMaxMW(c, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound < exact {
+		t.Fatalf("upper bound %v below exact maximum %v", bound, exact)
+	}
+}
+
+func TestUpperBoundDominatesSampledMax(t *testing.T) {
+	c := bench.MustGenerate("C432")
+	bound, err := UpperBoundMW(c, Params{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := NewEvaluator(c, delay.Zero{}, Params{})
+	nIn := c.NumInputs()
+	pattern := func(seed uint64) []bool {
+		v := make([]bool, nIn)
+		x := seed
+		for i := range v {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			v[i] = x&1 != 0
+		}
+		return v
+	}
+	for s := uint64(0); s < 200; s++ {
+		if p := eval.CyclePowerMW(pattern(2*s), pattern(2*s+1)); p > bound {
+			t.Fatalf("sample %v exceeds upper bound %v", p, bound)
+		}
+	}
+}
+
+func TestUpperBoundTightensWithConstraints(t *testing.T) {
+	c := bench.MustGenerate("C2670")
+	unconstrained, err := UpperBoundMW(c, Params{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeze most inputs: the bound must not increase, and freezing all
+	// inputs leaves only leakage.
+	probs := make([]float64, c.NumInputs())
+	for i := 0; i < len(probs)/10; i++ {
+		probs[i] = 0.5
+	}
+	constrained, err := UpperBoundMW(c, Params{}, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained > unconstrained {
+		t.Errorf("constrained bound %v above unconstrained %v", constrained, unconstrained)
+	}
+	frozen, err := UpperBoundMW(c, Params{}, make([]float64, c.NumInputs()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leakMW := Defaults().LeakNW * 1e-9 * float64(c.NumLogicGates()) * 1e3
+	if frozen > leakMW*1.0000001 {
+		t.Errorf("frozen-input bound %v exceeds leakage %v", frozen, leakMW)
+	}
+}
+
+func TestUpperBoundErrors(t *testing.T) {
+	c := bench.MustGenerate("C432")
+	if _, err := UpperBoundMW(c, Params{}, []float64{0.5}); err == nil {
+		t.Fatal("wrong-width probabilities accepted")
+	}
+}
+
+func TestUpperBoundTinyCircuitByHand(t *testing.T) {
+	// One inverter, both nodes toggleable: bound = (w_in + w_inv)/clock + leak.
+	b := netlist.NewBuilder("one")
+	a := b.Input("a")
+	y := b.Gate(netlist.Not, "y", a)
+	b.Output(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Vdd: 2, ClockNS: 1, IntrinsicF: 10, InputCapF: 5, PadCapF: 20, SCFraction: 0, LeakNW: 0, GlitchSwing: 0.1}
+	bound, err := UpperBoundMW(c, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same arithmetic as the hand-computed evaluator test: 78 µW = 0.078 mW.
+	if bound < 0.0779 || bound > 0.0781 {
+		t.Errorf("bound = %v mW, want 0.078", bound)
+	}
+}

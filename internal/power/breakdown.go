@@ -1,0 +1,42 @@
+package power
+
+import "sort"
+
+// GateEnergy attributes one cycle's energy to a gate.
+type GateEnergy struct {
+	Gate    int     // gate index in the circuit
+	Name    string  // gate name
+	Toggles int32   // transitions during the cycle (glitches included)
+	EnergyJ float64 // attributed energy in joules
+}
+
+// CycleBreakdown simulates the vector pair and returns the per-gate energy
+// attribution, sorted by descending energy, along with the cycle power in
+// watts. It is the "which nets burn" diagnostic used to act on a maximum
+// power estimate.
+func (e *Evaluator) CycleBreakdown(v1, v2 []bool) (powerW float64, gates []GateEnergy) {
+	res := e.simulator.RunCycle(v1, v2)
+	c := e.Circuit()
+	var energy float64
+	for g, n := range res.Toggles {
+		if n == 0 {
+			continue
+		}
+		eff := 1 + e.glitch*float64(n-1)
+		ej := eff * e.energyW[g]
+		energy += ej
+		gates = append(gates, GateEnergy{
+			Gate:    g,
+			Name:    c.Gates[g].Name,
+			Toggles: n,
+			EnergyJ: ej,
+		})
+	}
+	sort.Slice(gates, func(i, j int) bool {
+		if gates[i].EnergyJ != gates[j].EnergyJ {
+			return gates[i].EnergyJ > gates[j].EnergyJ
+		}
+		return gates[i].Gate < gates[j].Gate
+	})
+	return energy/e.clockS + e.leakW, gates
+}

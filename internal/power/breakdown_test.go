@@ -1,0 +1,56 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+)
+
+func TestCycleBreakdownSumsToPower(t *testing.T) {
+	c := bench.MustGenerate("C880")
+	e := NewEvaluator(c, delay.FanoutLoaded{}, Params{})
+	v1 := make([]bool, c.NumInputs())
+	v2 := make([]bool, c.NumInputs())
+	for i := range v2 {
+		v2[i] = i%2 == 0
+	}
+	pw, gates := e.CycleBreakdown(v1, v2)
+	if pw != e.CyclePowerW(v1, v2) {
+		t.Fatalf("breakdown power %v != CyclePowerW %v", pw, e.CyclePowerW(v1, v2))
+	}
+	var sum float64
+	for _, g := range gates {
+		if g.Toggles <= 0 || g.EnergyJ <= 0 {
+			t.Fatalf("degenerate entry %+v", g)
+		}
+		if g.Name == "" {
+			t.Fatal("missing gate name")
+		}
+		sum += g.EnergyJ
+	}
+	wantDyn := (pw - e.leakW) * e.clockS
+	if math.Abs(sum-wantDyn) > 1e-18+1e-12*wantDyn {
+		t.Errorf("per-gate energies sum to %v, dynamic energy is %v", sum, wantDyn)
+	}
+	// Sorted descending.
+	for i := 1; i < len(gates); i++ {
+		if gates[i].EnergyJ > gates[i-1].EnergyJ {
+			t.Fatal("breakdown not sorted")
+		}
+	}
+}
+
+func TestCycleBreakdownIdle(t *testing.T) {
+	c := bench.MustGenerate("C432")
+	e := NewEvaluator(c, delay.Zero{}, Params{})
+	v := make([]bool, c.NumInputs())
+	pw, gates := e.CycleBreakdown(v, v)
+	if len(gates) != 0 {
+		t.Errorf("idle cycle attributed %d gates", len(gates))
+	}
+	if math.Abs(pw-e.leakW) > 1e-18 {
+		t.Errorf("idle power %v != leakage %v", pw, e.leakW)
+	}
+}

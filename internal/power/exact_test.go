@@ -1,0 +1,84 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+)
+
+func TestExactZeroDelayMaxMWAgainstExhaustive(t *testing.T) {
+	c, err := bench.RandomCircuit(bench.RandomOptions{Inputs: 6, Outputs: 3, Gates: 50, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, res, err := ExactZeroDelayMaxMW(c, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited <= 0 {
+		t.Error("no search happened")
+	}
+
+	eval := NewEvaluator(c, delay.Zero{}, Params{})
+	n := c.NumInputs()
+	var best float64
+	for a := 0; a < 1<<n; a++ {
+		for b := 0; b < 1<<n; b++ {
+			v1 := make([]bool, n)
+			v2 := make([]bool, n)
+			for i := 0; i < n; i++ {
+				v1[i] = a&(1<<i) != 0
+				v2[i] = b&(1<<i) != 0
+			}
+			if p := eval.CyclePowerMW(v1, v2); p > best {
+				best = p
+			}
+		}
+	}
+	if math.Abs(exact-best) > 1e-9*(1+best) {
+		t.Fatalf("exact %v vs exhaustive %v", exact, best)
+	}
+	// The witness pair must achieve the maximum through the simulator too.
+	if p := eval.CyclePowerMW(res.V1, res.V2); math.Abs(p-exact) > 1e-9*(1+exact) {
+		t.Errorf("witness power %v != exact %v", p, exact)
+	}
+}
+
+func TestExactZeroDelayUpperBoundsTimedPopulationIsViolatable(t *testing.T) {
+	// The zero-delay exact maximum is NOT an upper bound for timed power
+	// (glitches add energy); this test documents the relationship: the
+	// timed maximum over random pairs may exceed the zero-delay exact
+	// value, but the zero-delay maximum over random pairs never does.
+	c, err := bench.RandomCircuit(bench.RandomOptions{Inputs: 8, Outputs: 4, Gates: 80, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _, err := ExactZeroDelayMaxMW(c, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroEval := NewEvaluator(c, delay.Zero{}, Params{})
+	n := c.NumInputs()
+	for a := 0; a < 1<<n; a += 3 {
+		for b := 0; b < 1<<n; b += 5 {
+			v1 := make([]bool, n)
+			v2 := make([]bool, n)
+			for i := 0; i < n; i++ {
+				v1[i] = a&(1<<i) != 0
+				v2[i] = b&(1<<i) != 0
+			}
+			if p := zeroEval.CyclePowerMW(v1, v2); p > exact+1e-9 {
+				t.Fatalf("zero-delay sample %v exceeds exact max %v", p, exact)
+			}
+		}
+	}
+}
+
+func TestExactZeroDelayRejectsBigCircuits(t *testing.T) {
+	c := bench.MustGenerate("C432") // 36 inputs
+	if _, _, err := ExactZeroDelayMaxMW(c, Params{}); err == nil {
+		t.Fatal("36-input circuit accepted by exact engine")
+	}
+}

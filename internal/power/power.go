@@ -1,0 +1,256 @@
+// Package power computes per-cycle power from the timing simulator's
+// transition counts, substituting for the paper's transistor-level
+// simulator (PowerMill). The model is the standard CMOS dynamic-power
+// formulation: every output transition of gate g charges or discharges
+// that node's load capacitance, so
+//
+//	E_cycle = ½ · Vdd² · Σ_g C_g · toggles_g · (1 + scFrac) + P_leak·T
+//	P_cycle = E_cycle / T_clk
+//
+// with C_g built from the gate's intrinsic drain capacitance plus the input
+// capacitance of each fanout (plus an output-pad load on primary outputs),
+// and scFrac an activity-proportional short-circuit adder. Absolute watts
+// are not calibrated to the paper's 0.35 µm testbed — only the shape of
+// the induced distribution matters to the estimator (see DESIGN.md).
+package power
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Params sets the electrical constants of the model. The zero value is
+// replaced by Defaults().
+type Params struct {
+	Vdd        float64 // supply voltage, volts
+	ClockNS    float64 // clock period, nanoseconds
+	IntrinsicF float64 // intrinsic drain capacitance per gate, femtofarads
+	InputCapF  float64 // input capacitance per fan-in connection, fF
+	WireCapF   float64 // wire capacitance per fanout branch, fF
+	PadCapF    float64 // output pad load on primary outputs, fF
+	SCFraction float64 // short-circuit energy as a fraction of dynamic
+	LeakNW     float64 // leakage per gate, nanowatts
+	// GlitchSwing scales the energy of glitch transitions (a gate's
+	// toggles beyond its first two in a cycle). Narrow hazard pulses do
+	// not swing the node across the full rail, so transistor-level
+	// simulators such as PowerMill report them at a fraction of a full
+	// C·V² event. 1 counts glitches at full swing; Defaults uses 0.35.
+	GlitchSwing float64
+}
+
+// Defaults returns 0.35 µm-era constants: 3.3 V supply, 100 MHz clock.
+func Defaults() Params {
+	return Params{
+		Vdd:         3.3,
+		ClockNS:     10,
+		IntrinsicF:  4,
+		InputCapF:   6,
+		WireCapF:    2,
+		PadCapF:     40,
+		SCFraction:  0.12,
+		LeakNW:      0.5,
+		GlitchSwing: 0.1,
+	}
+}
+
+// kindCapScale makes complex gates heavier, echoing transistor counts.
+var kindCapScale = map[netlist.Kind]float64{
+	netlist.Not:  0.6,
+	netlist.Buf:  0.8,
+	netlist.And:  1.1,
+	netlist.Nand: 1.0,
+	netlist.Or:   1.1,
+	netlist.Nor:  1.0,
+	netlist.Xor:  1.7,
+	netlist.Xnor: 1.7,
+}
+
+// NodeCapsF returns the load capacitance (fF) of every gate output node
+// under the given parameters.
+func NodeCapsF(c *netlist.Circuit, p Params) []float64 {
+	if p == (Params{}) {
+		p = Defaults()
+	}
+	caps := make([]float64, c.NumGates())
+	counts := c.FanoutCounts()
+	isOutput := make([]bool, c.NumGates())
+	for _, o := range c.Outputs {
+		isOutput[o] = true
+	}
+	for i, g := range c.Gates {
+		scale := 1.0
+		if s, ok := kindCapScale[g.Kind]; ok {
+			scale = s
+		}
+		caps[i] = p.IntrinsicF*scale + p.WireCapF*float64(counts[i])
+	}
+	// Each fanout consumer adds its input capacitance to the driver node.
+	for _, g := range c.Gates {
+		scale := 1.0
+		if s, ok := kindCapScale[g.Kind]; ok {
+			scale = s
+		}
+		for _, f := range g.Fanin {
+			caps[f] += p.InputCapF * scale
+		}
+	}
+	for i := range caps {
+		if isOutput[i] {
+			caps[i] += p.PadCapF
+		}
+	}
+	return caps
+}
+
+// Evaluator computes cycle power for vector pairs on one circuit. It wraps
+// a Simulator and is not safe for concurrent use; Clone gives each worker
+// an independent instance.
+type Evaluator struct {
+	simulator *sim.Simulator
+	params    Params
+	// energyW[g] = ½·Vdd²·C_g·(1+sc), in joules per toggle (C in farads).
+	energyW []float64
+	leakW   float64 // total leakage power, watts
+	clockS  float64 // clock period, seconds
+	glitch  float64 // per-extra-toggle energy scale (partial swing)
+
+	batch *sim.BitParallel // lazily created 64-lane engine (zero delay only)
+}
+
+// NewEvaluator builds an evaluator for the circuit under a delay model and
+// electrical parameters. Zero-valued params select Defaults(); nil model
+// selects delay.FanoutLoaded{}.
+func NewEvaluator(c *netlist.Circuit, m delay.Model, p Params) *Evaluator {
+	if p == (Params{}) {
+		p = Defaults()
+	}
+	if p.Vdd <= 0 || p.ClockNS <= 0 {
+		panic(fmt.Sprintf("power: invalid params %+v", p))
+	}
+	caps := NodeCapsF(c, p)
+	energy := make([]float64, len(caps))
+	k := 0.5 * p.Vdd * p.Vdd * (1 + p.SCFraction) * 1e-15 // fF → F
+	for i, cf := range caps {
+		energy[i] = k * cf
+	}
+	glitch := p.GlitchSwing
+	if glitch <= 0 {
+		glitch = Defaults().GlitchSwing
+	}
+	if glitch > 1 {
+		glitch = 1
+	}
+	return &Evaluator{
+		simulator: sim.New(c, m),
+		params:    p,
+		energyW:   energy,
+		leakW:     p.LeakNW * 1e-9 * float64(c.NumLogicGates()),
+		clockS:    p.ClockNS * 1e-9,
+		glitch:    glitch,
+	}
+}
+
+// Clone returns an independent evaluator sharing the immutable model data.
+func (e *Evaluator) Clone() *Evaluator {
+	return &Evaluator{
+		simulator: e.simulator.Clone(),
+		params:    e.params,
+		energyW:   e.energyW,
+		leakW:     e.leakW,
+		clockS:    e.clockS,
+		glitch:    e.glitch,
+	}
+}
+
+// Circuit returns the evaluated circuit.
+func (e *Evaluator) Circuit() *netlist.Circuit { return e.simulator.Circuit() }
+
+// Params returns the electrical parameters in effect.
+func (e *Evaluator) Params() Params { return e.params }
+
+// CyclePowerW returns the cycle power in watts for the vector pair
+// (v1, v2): settle at v1, apply v2, average dissipation over one clock.
+func (e *Evaluator) CyclePowerW(v1, v2 []bool) float64 {
+	res := e.simulator.RunCycle(v1, v2)
+	return e.energyOf(res.Toggles)/e.clockS + e.leakW
+}
+
+// energyOf converts per-gate toggle counts to joules: a gate's first
+// transition is a full C·V² event, further transitions (hazard pulses)
+// count at the partial GlitchSwing weight.
+func (e *Evaluator) energyOf(toggles []int32) float64 {
+	var energy float64
+	for g, n := range toggles {
+		if n == 0 {
+			continue
+		}
+		eff := 1 + e.glitch*float64(n-1)
+		energy += eff * e.energyW[g]
+	}
+	return energy
+}
+
+// CyclePowerMW returns CyclePowerW scaled to milliwatts, the unit of the
+// paper's Table 2.
+func (e *Evaluator) CyclePowerMW(v1, v2 []bool) float64 {
+	return e.CyclePowerW(v1, v2) * 1e3
+}
+
+// ZeroDelay reports whether the evaluator's delay model is glitch-free
+// (all gate delays zero), which enables the bit-parallel batch path.
+func (e *Evaluator) ZeroDelay() bool { return e.simulator.ZeroDelay() }
+
+// ZeroDelayBatchMW evaluates up to 64 vector pairs in one pass using the
+// 64-lane bit-parallel engine and returns their cycle powers in mW. It
+// requires a zero-delay evaluator (the timed path cannot be lane-packed);
+// results are bit-identical to calling CyclePowerMW per pair.
+func (e *Evaluator) ZeroDelayBatchMW(v1s, v2s [][]bool) ([]float64, error) {
+	if !e.ZeroDelay() {
+		return nil, fmt.Errorf("power: batch evaluation requires the zero-delay model")
+	}
+	if len(v1s) != len(v2s) {
+		return nil, fmt.Errorf("power: %d first vectors vs %d second", len(v1s), len(v2s))
+	}
+	if e.batch == nil {
+		e.batch = sim.NewBitParallel(e.Circuit())
+	}
+	in1, err := e.batch.PackInputs(v1s)
+	if err != nil {
+		return nil, err
+	}
+	in2, err := e.batch.PackInputs(v2s)
+	if err != nil {
+		return nil, err
+	}
+	masks := e.batch.CycleDiff(in1, in2)
+	out := make([]float64, len(v1s))
+	for g, w := range masks {
+		if w == 0 {
+			continue
+		}
+		eg := e.energyW[g]
+		for w != 0 {
+			lane := bits.TrailingZeros64(w)
+			w &= w - 1
+			if lane < len(out) {
+				out[lane] += eg
+			}
+		}
+	}
+	for i := range out {
+		out[i] = (out[i]/e.clockS + e.leakW) * 1e3
+	}
+	return out, nil
+}
+
+// CycleDetail returns cycle power (W) along with the simulator's settle
+// time (ps) and event count, for callers that need more than power (the
+// path-delay example uses SettleTime as its random variable).
+func (e *Evaluator) CycleDetail(v1, v2 []bool) (powerW float64, settlePS int64, events int) {
+	res := e.simulator.RunCycle(v1, v2)
+	return e.energyOf(res.Toggles)/e.clockS + e.leakW, res.SettleTime, res.Events
+}

@@ -1,0 +1,79 @@
+// Package quantileest implements the high-quantile baseline in the spirit
+// of Ding et al. [10] (DAC'97) and Hill et al. [9]: estimate the
+// cumulative distribution of cycle power from a moderate random sample and
+// read the maximum off a high quantile point, with a distribution-free
+// binomial confidence statement. The paper's §I argues this family has
+// "efficiency as low as random vector generation" — the Table 1/2 shape
+// comparison bears that out, which is why this package exists as a
+// baseline.
+package quantileest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/evt"
+	"repro/internal/stats"
+)
+
+// Result reports a quantile-based estimate.
+type Result struct {
+	// Estimate is the empirical q-quantile of the drawn sample (mW).
+	Estimate float64
+	// Q is the quantile point targeted.
+	Q float64
+	// Units is the number of units drawn.
+	Units int
+	// CILow/CIHigh is a distribution-free order-statistic confidence
+	// interval for the q-quantile at the requested confidence, when one
+	// exists within the sample (otherwise both are NaN).
+	CILow, CIHigh float64
+}
+
+// Estimate draws units values and returns the empirical q-quantile with a
+// binomial order-statistic confidence interval at the given confidence.
+// For maximum-power use, q is typically 1 − 1/|V| — which an affordable
+// sample cannot resolve, demonstrating the baseline's limitation.
+func Estimate(src evt.Source, units int, q, confidence float64, rng *stats.RNG) (Result, error) {
+	if units <= 0 {
+		return Result{}, fmt.Errorf("quantileest: units must be positive, got %d", units)
+	}
+	if q <= 0 || q >= 1 {
+		return Result{}, fmt.Errorf("quantileest: q %v must be in (0,1)", q)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return Result{}, fmt.Errorf("quantileest: confidence %v must be in (0,1)", confidence)
+	}
+	xs := make([]float64, units)
+	for i := range xs {
+		xs[i] = src.SamplePower(rng)
+	}
+	e := stats.NewECDF(xs)
+	res := Result{Estimate: e.Quantile(q), Q: q, Units: units, CILow: math.NaN(), CIHigh: math.NaN()}
+
+	// Distribution-free CI: order statistics X_(lo), X_(hi) with
+	// P(X_(lo) ≤ ξ_q ≤ X_(hi)) ≥ confidence, via the normal approximation
+	// to the binomial (n q, sqrt(n q (1−q))).
+	n := float64(units)
+	z := stats.TwoSidedZ(confidence)
+	sd := math.Sqrt(n * q * (1 - q))
+	lo := int(math.Floor(n*q - z*sd))
+	hi := int(math.Ceil(n*q + z*sd))
+	sorted := e.Sorted()
+	if lo >= 1 && hi <= units {
+		res.CILow = sorted[lo-1]
+		res.CIHigh = sorted[hi-1]
+	}
+	return res, nil
+}
+
+// MaxQuantile returns the quantile point the §3.4 argument associates with
+// the maximum of a finite population: 1 − 1/|V|. For an infinite source it
+// returns a point indistinguishable from 1 given the unit budget, which is
+// the method's fundamental limitation.
+func MaxQuantile(src evt.Source) float64 {
+	if s := src.Size(); s > 0 {
+		return 1 - 1/float64(s)
+	}
+	return 1 - 1e-9
+}

@@ -1,0 +1,110 @@
+package quantileest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/vectorgen"
+)
+
+func testPop(size int, seed uint64) *vectorgen.Population {
+	rng := stats.NewRNG(seed)
+	powers := make([]float64, size)
+	for i := range powers {
+		powers[i] = 10 - 4*math.Pow(rng.Float64(), 0.4)
+	}
+	return vectorgen.FromPowers("q-test", powers)
+}
+
+func TestEstimateMedian(t *testing.T) {
+	// Uniform(0,1) population: the 0.5 quantile must come out near 0.5.
+	rng := stats.NewRNG(1)
+	powers := make([]float64, 50000)
+	for i := range powers {
+		powers[i] = rng.Float64()
+	}
+	pop := vectorgen.FromPowers("u", powers)
+	res, err := Estimate(pop, 5000, 0.5, 0.9, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate-0.5) > 0.03 {
+		t.Errorf("median estimate = %v", res.Estimate)
+	}
+	if math.IsNaN(res.CILow) || math.IsNaN(res.CIHigh) {
+		t.Fatal("CI missing for resolvable quantile")
+	}
+	if !(res.CILow <= res.Estimate && res.Estimate <= res.CIHigh) {
+		t.Errorf("estimate outside CI: %+v", res)
+	}
+	if res.CIHigh-res.CILow > 0.1 {
+		t.Errorf("CI too wide: %+v", res)
+	}
+}
+
+func TestEstimateHighQuantileUnderestimatesMax(t *testing.T) {
+	// The method's documented limitation: with a 2500-unit budget the
+	// 1−1/|V| quantile of a 100k population is unresolvable and the
+	// estimate falls below the true maximum.
+	pop := testPop(100000, 3)
+	q := MaxQuantile(pop)
+	rng := stats.NewRNG(4)
+	under := 0
+	const runs = 30
+	for i := 0; i < runs; i++ {
+		res, err := Estimate(pop, 2500, q, 0.9, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Estimate > pop.TrueMax() {
+			t.Fatal("quantile estimate above the population max")
+		}
+		if res.Estimate < pop.TrueMax() {
+			under++
+		}
+		if !math.IsNaN(res.CIHigh) {
+			t.Error("CI should be unresolvable at this quantile/budget")
+		}
+	}
+	if under < runs*9/10 {
+		t.Errorf("only %d/%d runs underestimated", under, runs)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	pop := testPop(100, 5)
+	rng := stats.NewRNG(6)
+	cases := []struct {
+		units int
+		q     float64
+		conf  float64
+	}{
+		{0, 0.5, 0.9},
+		{10, 0, 0.9},
+		{10, 1, 0.9},
+		{10, 0.5, 0},
+		{10, 0.5, 1},
+	}
+	for i, c := range cases {
+		if _, err := Estimate(pop, c.units, c.q, c.conf, rng); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMaxQuantile(t *testing.T) {
+	pop := testPop(1000, 7)
+	if got := MaxQuantile(pop); got != 1-1.0/1000 {
+		t.Errorf("MaxQuantile = %v", got)
+	}
+	inf := infiniteSource{}
+	if got := MaxQuantile(inf); got >= 1 || got < 1-1e-8 {
+		t.Errorf("infinite MaxQuantile = %v", got)
+	}
+}
+
+type infiniteSource struct{}
+
+func (infiniteSource) SamplePower(rng *stats.RNG) float64 { return rng.Float64() }
+func (infiniteSource) Size() int                          { return 0 }

@@ -1,0 +1,137 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+	"repro/internal/power"
+	"repro/internal/stats"
+)
+
+func evaluatorFor(t *testing.T, name string) *power.Evaluator {
+	t.Helper()
+	c, err := bench.Generate(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return power.NewEvaluator(c, delay.FanoutLoaded{}, power.Params{})
+}
+
+// randomBaseline returns the best power over n uniform random pairs.
+func randomBaseline(e *power.Evaluator, n int, seed uint64) float64 {
+	rng := stats.NewRNG(seed)
+	ev := e.Clone()
+	ni := ev.Circuit().NumInputs()
+	best := 0.0
+	for i := 0; i < n; i++ {
+		v1 := randVec(rng, ni)
+		v2 := randVec(rng, ni)
+		if p := ev.CyclePowerMW(v1, v2); p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+func TestGreedyFindsHighPowerPair(t *testing.T) {
+	e := evaluatorFor(t, "C432")
+	res := Greedy(e, GreedyOptions{Restarts: 3, Seed: 1})
+	if res.BestPower <= 0 || res.Evaluations <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if len(res.V1) != 36 || len(res.V2) != 36 {
+		t.Fatal("best pair missing")
+	}
+	// The returned pair must actually evaluate to the reported power.
+	if p := e.CyclePowerMW(res.V1, res.V2); p != res.BestPower {
+		t.Errorf("replay %v != reported %v", p, res.BestPower)
+	}
+	// Greedy must beat a random baseline of equal cost.
+	if base := randomBaseline(e, res.Evaluations, 99); res.BestPower < base*0.98 {
+		t.Errorf("greedy %v did not beat equal-cost random %v", res.BestPower, base)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	e := evaluatorFor(t, "C432")
+	a := Greedy(e, GreedyOptions{Restarts: 2, Seed: 7})
+	b := Greedy(e, GreedyOptions{Restarts: 2, Seed: 7})
+	if a.BestPower != b.BestPower || a.Evaluations != b.Evaluations {
+		t.Error("greedy not deterministic in seed")
+	}
+}
+
+func TestGreedyMonotoneInRestarts(t *testing.T) {
+	e := evaluatorFor(t, "C432")
+	one := Greedy(e, GreedyOptions{Restarts: 1, Seed: 3})
+	five := Greedy(e, GreedyOptions{Restarts: 5, Seed: 3})
+	// Same seed prefix: more restarts can only improve or match.
+	if five.BestPower < one.BestPower {
+		t.Errorf("more restarts got worse: %v vs %v", five.BestPower, one.BestPower)
+	}
+}
+
+func TestGeneticFindsHighPowerPair(t *testing.T) {
+	e := evaluatorFor(t, "C432")
+	res := Genetic(e, GeneticOptions{Population: 20, Generations: 15, Seed: 1})
+	if res.BestPower <= 0 {
+		t.Fatalf("degenerate: %+v", res)
+	}
+	if p := e.CyclePowerMW(res.V1, res.V2); p != res.BestPower {
+		t.Errorf("replay %v != reported %v", p, res.BestPower)
+	}
+	if base := randomBaseline(e, res.Evaluations, 77); res.BestPower < base*0.95 {
+		t.Errorf("GA %v far below equal-cost random %v", res.BestPower, base)
+	}
+}
+
+func TestGeneticDeterministic(t *testing.T) {
+	e := evaluatorFor(t, "C432")
+	a := Genetic(e, GeneticOptions{Population: 10, Generations: 5, Seed: 9})
+	b := Genetic(e, GeneticOptions{Population: 10, Generations: 5, Seed: 9})
+	if a.BestPower != b.BestPower || a.Evaluations != b.Evaluations {
+		t.Error("GA not deterministic in seed")
+	}
+}
+
+func TestSearchesAreLowerBounds(t *testing.T) {
+	// Both searches return achievable powers: re-simulation must agree and
+	// no search can exceed an exhaustive small-circuit maximum.
+	c, err := bench.RandomCircuit(bench.RandomOptions{Inputs: 6, Outputs: 3, Gates: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := power.NewEvaluator(c, delay.FanoutLoaded{}, power.Params{})
+	// Exhaustive: all 2^6 × 2^6 pairs.
+	var trueMax float64
+	for a := 0; a < 64; a++ {
+		for b := 0; b < 64; b++ {
+			v1 := bits6(a)
+			v2 := bits6(b)
+			if p := e.CyclePowerMW(v1, v2); p > trueMax {
+				trueMax = p
+			}
+		}
+	}
+	g := Greedy(e, GreedyOptions{Restarts: 4, Seed: 2})
+	ga := Genetic(e, GeneticOptions{Population: 16, Generations: 10, Seed: 2})
+	if g.BestPower > trueMax+1e-12 || ga.BestPower > trueMax+1e-12 {
+		t.Fatalf("search exceeded exhaustive max %v: greedy %v ga %v", trueMax, g.BestPower, ga.BestPower)
+	}
+	// On a 6-input circuit both should get close to the true maximum.
+	if g.BestPower < 0.8*trueMax {
+		t.Errorf("greedy too weak: %v vs %v", g.BestPower, trueMax)
+	}
+	if ga.BestPower < 0.8*trueMax {
+		t.Errorf("GA too weak: %v vs %v", ga.BestPower, trueMax)
+	}
+}
+
+func bits6(v int) []bool {
+	out := make([]bool, 6)
+	for i := range out {
+		out[i] = v&(1<<i) != 0
+	}
+	return out
+}

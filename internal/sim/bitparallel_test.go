@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+)
+
+func TestBitParallelMatchesSerialSettle(t *testing.T) {
+	c := bench.MustGenerate("C432")
+	bp := NewBitParallel(c)
+	serial := New(c, delay.Zero{})
+	nIn := c.NumInputs()
+
+	// 64 random vectors, lane-packed, must settle identically to serial.
+	vectors := make([][]bool, 64)
+	for l := range vectors {
+		vectors[l] = patternFromSeed(uint64(1000+l), nIn)
+	}
+	packed, err := bp.PackInputs(vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.settleInto(bp.lanes, packed)
+	for l, v := range vectors {
+		want := serial.Settle(v)
+		for g := range want {
+			got := bp.lanes[g]&(1<<uint(l)) != 0
+			if got != want[g] {
+				t.Fatalf("lane %d gate %d (%s): parallel %v serial %v",
+					l, g, c.Gates[g].Name, got, want[g])
+			}
+		}
+	}
+}
+
+func TestBitParallelCycleDiffMatchesSerial(t *testing.T) {
+	c := bench.MustGenerate("C880")
+	bp := NewBitParallel(c)
+	serial := New(c, delay.Zero{})
+	nIn := c.NumInputs()
+
+	if err := quick.Check(func(seed uint64) bool {
+		const lanes = 17 // deliberately not a multiple of 64
+		v1s := make([][]bool, lanes)
+		v2s := make([][]bool, lanes)
+		for l := 0; l < lanes; l++ {
+			v1s[l] = patternFromSeed(seed^uint64(2*l+1), nIn)
+			v2s[l] = patternFromSeed(seed^uint64(2*l+2), nIn)
+		}
+		in1, err := bp.PackInputs(v1s)
+		if err != nil {
+			return false
+		}
+		in2, err := bp.PackInputs(v2s)
+		if err != nil {
+			return false
+		}
+		masks := append([]uint64(nil), bp.CycleDiff(in1, in2)...)
+		for l := 0; l < lanes; l++ {
+			res := serial.RunCycle(v1s[l], v2s[l])
+			for g := range masks {
+				got := masks[g]&(1<<uint(l)) != 0
+				want := res.Toggles[g] != 0
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackInputsErrors(t *testing.T) {
+	c := bench.MustGenerate("C432")
+	bp := NewBitParallel(c)
+	if _, err := bp.PackInputs(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	too := make([][]bool, 65)
+	for i := range too {
+		too[i] = make([]bool, c.NumInputs())
+	}
+	if _, err := bp.PackInputs(too); err == nil {
+		t.Error("65-lane batch accepted")
+	}
+	if _, err := bp.PackInputs([][]bool{{true}}); err == nil {
+		t.Error("wrong-width vector accepted")
+	}
+}
+
+func BenchmarkBitParallel64Cycles(b *testing.B) {
+	c := bench.MustGenerate("C6288")
+	bp := NewBitParallel(c)
+	nIn := c.NumInputs()
+	v1s := make([][]bool, 64)
+	v2s := make([][]bool, 64)
+	for l := 0; l < 64; l++ {
+		v1s[l] = patternFromSeed(uint64(2*l+1), nIn)
+		v2s[l] = patternFromSeed(uint64(2*l+2), nIn)
+	}
+	in1, _ := bp.PackInputs(v1s)
+	in2, _ := bp.PackInputs(v2s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp.CycleDiff(in1, in2) // 64 cycles per op
+	}
+}
+
+func BenchmarkSerial64Cycles(b *testing.B) {
+	c := bench.MustGenerate("C6288")
+	s := New(c, delay.Zero{})
+	nIn := c.NumInputs()
+	v1s := make([][]bool, 64)
+	v2s := make([][]bool, 64)
+	for l := 0; l < 64; l++ {
+		v1s[l] = patternFromSeed(uint64(2*l+1), nIn)
+		v2s[l] = patternFromSeed(uint64(2*l+2), nIn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := 0; l < 64; l++ {
+			s.RunCycle(v1s[l], v2s[l])
+		}
+	}
+}

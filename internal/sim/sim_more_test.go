@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+	"repro/internal/netlist"
+)
+
+func TestWideFaninGates(t *testing.T) {
+	// An 8-input AND/OR/XOR bank: verify settle values and cycle toggles.
+	b := netlist.NewBuilder("wide")
+	ins := b.Inputs("i", 8)
+	and := b.Gate(netlist.And, "and", ins...)
+	or := b.Gate(netlist.Or, "or", ins...)
+	xor := b.Gate(netlist.Xor, "xor", ins...)
+	b.Output(and)
+	b.Output(or)
+	b.Output(xor)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c, delay.Zero{})
+
+	all1 := []bool{true, true, true, true, true, true, true, true}
+	one0 := []bool{false, true, true, true, true, true, true, true}
+	v := s.Settle(all1)
+	if !v[and] || !v[or] || v[xor] {
+		t.Errorf("all-ones: and=%v or=%v xor=%v", v[and], v[or], v[xor])
+	}
+	res := s.RunCycle(all1, one0)
+	// AND falls, OR stays, XOR flips (8 ones → 7 ones).
+	if res.Toggles[and] != 1 {
+		t.Errorf("and toggles = %d", res.Toggles[and])
+	}
+	if res.Toggles[or] != 0 {
+		t.Errorf("or toggles = %d", res.Toggles[or])
+	}
+	if res.Toggles[xor] != 1 {
+		t.Errorf("xor toggles = %d", res.Toggles[xor])
+	}
+}
+
+func TestReconvergentFanoutTimed(t *testing.T) {
+	// y = AND(a, BUF(a)) with equal delays: both XOR... AND inputs arrive
+	// together via paths of different length, so y pulses on a rising a
+	// under unit delay (path lengths 0 and 1 gate).
+	b := netlist.NewBuilder("reconv")
+	a := b.Input("a")
+	buf := b.Gate(netlist.Buf, "buf", a)
+	y := b.Gate(netlist.And, "y", a, buf)
+	b.Output(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c, delay.Unit{Delay: 10})
+	// Rising a: AND sees (1, old 0) at t=0 → no output change scheduled…
+	// then buf rises at 10 → y rises at 20. Single clean transition.
+	res := s.RunCycle([]bool{false}, []bool{true})
+	if res.Toggles[y] != 1 {
+		t.Errorf("rising: y toggles = %d, want 1", res.Toggles[y])
+	}
+	// Falling a: AND sees (0, 1) at t=0 → falls at 10; buf falls at 10,
+	// re-evaluation keeps y at 0. Single transition again.
+	res = s.RunCycle([]bool{true}, []bool{false})
+	if res.Toggles[y] != 1 {
+		t.Errorf("falling: y toggles = %d, want 1", res.Toggles[y])
+	}
+}
+
+func TestSettleTimeMonotoneWithDepth(t *testing.T) {
+	// Longer inverter chains must settle no earlier than shorter ones.
+	prev := int64(-1)
+	for _, depth := range []int{1, 3, 7, 15} {
+		b := netlist.NewBuilder("chain")
+		prevSig := b.Input("a")
+		for i := 0; i < depth; i++ {
+			prevSig = b.Not(prevSig)
+		}
+		b.Output(prevSig)
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(c, delay.Unit{Delay: 10})
+		res := s.RunCycle([]bool{false}, []bool{true})
+		if res.SettleTime <= prev {
+			t.Fatalf("depth %d settle %d not beyond previous %d", depth, res.SettleTime, prev)
+		}
+		prev = res.SettleTime
+	}
+}
+
+func TestEventCountsBoundedOnBigCircuit(t *testing.T) {
+	// Even the glitchy multiplier must settle with a finite, plausible
+	// event count (acyclic circuits terminate under inertial semantics).
+	c := bench.MustGenerate("C6288")
+	s := New(c, delay.FanoutLoaded{})
+	v1 := make([]bool, c.NumInputs())
+	v2 := make([]bool, c.NumInputs())
+	for i := range v2 {
+		v2[i] = true
+	}
+	res := s.RunCycle(v1, v2)
+	if res.Events <= 0 {
+		t.Fatal("no events on a full flip")
+	}
+	// Generous bound: a handful of toggles per gate on average.
+	if res.Events > 100*c.NumGates() {
+		t.Fatalf("event explosion: %d events for %d gates", res.Events, c.NumGates())
+	}
+}
+
+func TestTableDelayMakesXorSlower(t *testing.T) {
+	// Under the standard table, an XOR path settles later than a NAND path
+	// of the same depth.
+	build := func(kind netlist.Kind) *netlist.Circuit {
+		b := netlist.NewBuilder("k")
+		a := b.Input("a")
+		x := b.Input("x")
+		g1 := b.Gate(kind, "g1", a, x)
+		g2 := b.Gate(kind, "g2", g1, x)
+		b.Output(g2)
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	tab := delay.StandardTable()
+	sx := New(build(netlist.Xor), tab)
+	sn := New(build(netlist.Nand), tab)
+	rx := sx.RunCycle([]bool{false, false}, []bool{true, false})
+	rn := sn.RunCycle([]bool{false, false}, []bool{true, false})
+	if rx.SettleTime <= rn.SettleTime {
+		t.Errorf("xor settle %d not slower than nand %d", rx.SettleTime, rn.SettleTime)
+	}
+}
+
+func TestRepeatedRunCycleIsStateless(t *testing.T) {
+	// Back-to-back RunCycle calls with different pairs must not leak
+	// state: re-running the first pair reproduces its result exactly.
+	c := bench.MustGenerate("C432")
+	s := New(c, delay.FanoutLoaded{})
+	v1 := patternFromSeed(100, c.NumInputs())
+	v2 := patternFromSeed(200, c.NumInputs())
+	v3 := patternFromSeed(300, c.NumInputs())
+
+	first := *s.RunCycle(v1, v2)
+	firstToggles := append([]int32(nil), first.Toggles...)
+	s.RunCycle(v2, v3)
+	s.RunCycle(v3, v1)
+	again := s.RunCycle(v1, v2)
+	if again.Events != first.Events || again.SettleTime != first.SettleTime {
+		t.Fatalf("state leak: %+v vs %+v", again, first)
+	}
+	for i := range firstToggles {
+		if firstToggles[i] != again.Toggles[i] {
+			t.Fatalf("toggle mismatch at gate %d", i)
+		}
+	}
+}

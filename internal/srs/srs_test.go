@@ -1,0 +1,159 @@
+package srs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/vectorgen"
+)
+
+func testPop(size int, seed uint64) *vectorgen.Population {
+	rng := stats.NewRNG(seed)
+	powers := make([]float64, size)
+	for i := range powers {
+		u := rng.Float64()
+		powers[i] = 10 - 4*math.Pow(u, 0.4)
+	}
+	return vectorgen.FromPowers("srs-test", powers)
+}
+
+func TestEstimateIsSampleMax(t *testing.T) {
+	pop := vectorgen.FromPowers("tiny", []float64{1, 2, 3})
+	rng := stats.NewRNG(1)
+	// With enough draws the estimate must be exactly the population max.
+	if got := Estimate(pop, 200, rng); got != 3 {
+		t.Errorf("estimate = %v", got)
+	}
+}
+
+func TestEstimateNeverExceedsTrueMax(t *testing.T) {
+	pop := testPop(10000, 2)
+	rng := stats.NewRNG(3)
+	for i := 0; i < 50; i++ {
+		if got := Estimate(pop, 100, rng); got > pop.TrueMax() {
+			t.Fatalf("SRS estimate %v above true max %v", got, pop.TrueMax())
+		}
+	}
+}
+
+func TestEstimateImprovesWithBudget(t *testing.T) {
+	pop := testPop(100000, 4)
+	actual := pop.TrueMax()
+	meanErr := func(units int) float64 {
+		rng := stats.NewRNG(5)
+		var sum float64
+		const runs = 40
+		for i := 0; i < runs; i++ {
+			sum += (actual - Estimate(pop, units, rng)) / actual
+		}
+		return sum / runs
+	}
+	e100, e2500, e20000 := meanErr(100), meanErr(2500), meanErr(20000)
+	if !(e100 > e2500 && e2500 > e20000) {
+		t.Errorf("mean error not decreasing: %v %v %v", e100, e2500, e20000)
+	}
+	if e20000 < 0 {
+		t.Error("SRS cannot overshoot")
+	}
+}
+
+func TestEstimatePanics(t *testing.T) {
+	pop := testPop(10, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Estimate(pop, 0, stats.NewRNG(1))
+}
+
+func TestTheoreticalUnitsPaperValues(t *testing.T) {
+	// Paper Table 1: C1355 Y=0.0001 → 23024; C432 Y=0.000038 → 60593.
+	cases := []struct {
+		y    float64
+		want float64
+	}{
+		{0.0001, 23024},
+		{0.000038, 60593},
+		{0.00005, 46050},
+		{0.000094, 24494},
+	}
+	for _, c := range cases {
+		got := TheoreticalUnits(c.y, 0.9)
+		if math.Abs(got-c.want) > c.want*0.002 {
+			t.Errorf("TheoreticalUnits(%v) = %v, want ≈ %v (paper)", c.y, got, c.want)
+		}
+	}
+}
+
+func TestTheoreticalUnitsEdges(t *testing.T) {
+	if !math.IsInf(TheoreticalUnits(0, 0.9), 1) {
+		t.Error("Y=0 must need infinite units")
+	}
+	if got := TheoreticalUnits(1, 0.9); got != 1 {
+		t.Errorf("Y=1 needs %v units", got)
+	}
+	for _, f := range []func(){
+		func() { TheoreticalUnits(-0.1, 0.9) },
+		func() { TheoreticalUnits(2, 0.9) },
+		func() { TheoreticalUnits(0.5, 0) },
+		func() { TheoreticalUnits(0.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTheoreticalUnitsMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, y := range []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1} {
+		u := TheoreticalUnits(y, 0.9)
+		if u >= prev {
+			t.Fatalf("units not decreasing in Y at %v", y)
+		}
+		prev = u
+	}
+}
+
+func TestRepeatedQuality(t *testing.T) {
+	pop := testPop(100000, 7)
+	actual := pop.TrueMax()
+	rng := stats.NewRNG(8)
+	qs := Repeated(pop, 2500, 50, actual, 0.05, rng)
+	if qs.Runs != 50 || qs.Units != 2500 {
+		t.Errorf("metadata: %+v", qs)
+	}
+	// SRS always underestimates: largest error must be ≤ 0 and the mean
+	// error negative.
+	if qs.LargestErr > 0 {
+		t.Errorf("SRS overshot: %v", qs.LargestErr)
+	}
+	if qs.MeanErr >= 0 {
+		t.Errorf("mean error %v not negative", qs.MeanErr)
+	}
+	if qs.FracOverEps < 0 || qs.FracOverEps > 1 {
+		t.Errorf("fraction out of range: %v", qs.FracOverEps)
+	}
+	// More units → no worse largest error, statistically.
+	qsBig := Repeated(pop, 50000, 50, actual, 0.05, rng)
+	if qsBig.FracOverEps > qs.FracOverEps+0.05 {
+		t.Errorf("more units got worse: %v vs %v", qsBig.FracOverEps, qs.FracOverEps)
+	}
+}
+
+func TestRepeatedPanics(t *testing.T) {
+	pop := testPop(10, 9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Repeated(pop, 10, 0, 1, 0.05, stats.NewRNG(1))
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// χ²(2) is Exponential(rate 1/2): CDF(x) = 1 − e^{−x/2}.
+	c2 := ChiSquare{K: 2}
+	for _, x := range []float64{0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x/2)
+		if got := c2.CDF(x); !almostEqual(got, want, 1e-12) {
+			t.Errorf("χ²(2).CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Standard table values.
+	cases := []struct{ k, x, want float64 }{
+		{1, 3.841458820694124, 0.95},
+		{5, 11.070497693516351, 0.95},
+		{10, 18.307038053275146, 0.95},
+		{9, 16.918977604620448, 0.95},
+	}
+	for _, c := range cases {
+		if got := (ChiSquare{K: c.k}).CDF(c.x); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("χ²(%v).CDF(%v) = %v, want %v", c.k, c.x, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareQuantileRoundTrip(t *testing.T) {
+	if err := quick.Check(func(kRaw uint8, pRaw uint16) bool {
+		k := float64(kRaw%60 + 1)
+		p := float64(pRaw%9998+1) / 1e4
+		d := ChiSquare{K: k}
+		x := d.Quantile(p)
+		return almostEqual(d.CDF(x), p, 1e-8)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquarePDFIntegrates(t *testing.T) {
+	d := ChiSquare{K: 4}
+	const steps = 200000
+	hi := 60.0
+	h := hi / steps
+	sum := d.PDF(hi) / 2
+	for i := 1; i < steps; i++ {
+		sum += d.PDF(float64(i) * h)
+	}
+	if integral := sum * h; !almostEqual(integral, 1, 1e-5) {
+		t.Errorf("∫pdf = %v", integral)
+	}
+}
+
+func TestChiSquareEdges(t *testing.T) {
+	d := ChiSquare{K: 3}
+	if d.CDF(0) != 0 || d.CDF(-1) != 0 {
+		t.Error("CDF at/below 0")
+	}
+	if d.Quantile(0) != 0 || !math.IsInf(d.Quantile(1), 1) {
+		t.Error("quantile extremes")
+	}
+	if d.PDF(-1) != 0 {
+		t.Error("PDF below 0")
+	}
+	if (ChiSquare{K: 2}).PDF(0) != 0.5 {
+		t.Error("χ²(2).PDF(0)")
+	}
+	if !math.IsInf((ChiSquare{K: 1}).PDF(0), 1) {
+		t.Error("χ²(1).PDF(0)")
+	}
+}
+
+func TestVarianceCI(t *testing.T) {
+	// Simulated coverage: variance CI from n=20 normal samples should
+	// contain σ²=4 about 90% of the time.
+	r := NewRNG(7)
+	const trials = 400
+	covered := 0
+	for tr := 0; tr < trials; tr++ {
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = 2 * r.NormFloat64()
+		}
+		lo, hi := VarianceCI(Variance(xs), len(xs), 0.90)
+		if lo > hi {
+			t.Fatal("inverted interval")
+		}
+		if lo <= 4 && 4 <= hi {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.84 || frac > 0.96 {
+		t.Errorf("variance CI coverage = %v, want ≈ 0.90", frac)
+	}
+}
+
+func TestVarianceCIPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { VarianceCI(1, 1, 0.9) },
+		func() { VarianceCI(1, 10, 0) },
+		func() { VarianceCI(1, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

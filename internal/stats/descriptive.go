@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs. It panics on an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty slice")
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n−1 denominator) sample variance.
+// It panics if len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		panic("stats: Variance needs at least two values")
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MeanStd returns the mean and unbiased standard deviation in one pass
+// (Welford's algorithm). For len(xs) < 2 the returned deviation is 0.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		panic("stats: MeanStd of empty slice")
+	}
+	var m, m2 float64
+	for i, x := range xs {
+		d := x - m
+		m += d / float64(i+1)
+		m2 += d * (x - m)
+	}
+	if len(xs) < 2 {
+		return m, 0
+	}
+	return m, math.Sqrt(m2 / float64(len(xs)-1))
+}
+
+// Min returns the smallest element of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MinMax returns both extremes of xs in a single pass.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Summary holds one-pass descriptive statistics of a data set.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // unbiased sample standard deviation (0 when N < 2)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty slice.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty slice")
+	}
+	mean, std := MeanStd(xs)
+	min, max := MinMax(xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var med float64
+	n := len(sorted)
+	if n%2 == 1 {
+		med = sorted[n/2]
+	} else {
+		med = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return Summary{N: n, Mean: mean, Std: std, Min: min, Max: max, Median: med}
+}

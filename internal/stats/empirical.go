@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over a sorted copy
+// of the input sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from xs. The input is copied and sorted;
+// it panics on an empty slice.
+func NewECDF(xs []float64) *ECDF {
+	if len(xs) == 0 {
+		panic("stats: NewECDF on empty data")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Len returns the number of sample points.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// CDF returns the fraction of sample points ≤ x.
+func (e *ECDF) CDF(x float64) float64 {
+	// Index of first element > x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest sample value t with CDF(t) ≥ q, matching
+// the paper's definition F⁻¹(q) = inf{t : F(t) ≥ q}. q outside (0, 1] is
+// clamped: q ≤ 0 returns the sample minimum.
+func (e *ECDF) Quantile(q float64) float64 {
+	n := len(e.sorted)
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[n-1]
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return e.sorted[idx]
+}
+
+// Sorted returns the underlying sorted sample (read-only; callers must not
+// modify it).
+func (e *ECDF) Sorted() []float64 { return e.sorted }
+
+// Histogram is a fixed-width binning of a sample.
+type Histogram struct {
+	Lo, Hi float64 // overall range covered by the bins
+	Counts []int   // Counts[i] covers [Lo + i·w, Lo + (i+1)·w)
+	Width  float64 // bin width w
+	N      int     // total number of observations
+}
+
+// NewHistogram bins xs into bins equal-width bins spanning [min, max]. The
+// top edge is inclusive so the maximum lands in the last bin. It panics if
+// bins < 1 or xs is empty.
+func NewHistogram(xs []float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if len(xs) == 0 {
+		panic("stats: histogram of empty data")
+	}
+	lo, hi := MinMax(xs)
+	if hi == lo {
+		hi = lo + 1 // degenerate sample: single bin covers everything
+	}
+	w := (hi - lo) / float64(bins)
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins), Width: w, N: len(xs)}
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Centers returns the midpoints of all bins.
+func (h *Histogram) Centers() []float64 {
+	cs := make([]float64, len(h.Counts))
+	for i := range cs {
+		cs[i] = h.Lo + (float64(i)+0.5)*h.Width
+	}
+	return cs
+}
+
+// Densities returns the estimated probability density per bin
+// (count / (N·width)).
+func (h *Histogram) Densities() []float64 {
+	ds := make([]float64, len(h.Counts))
+	denom := float64(h.N) * h.Width
+	for i, c := range h.Counts {
+		ds[i] = float64(c) / denom
+	}
+	return ds
+}

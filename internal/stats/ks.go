@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the one-sample Kolmogorov–Smirnov statistic
+// D = sup_x |F_n(x) − F(x)| between the empirical distribution of xs and
+// the theoretical CDF cdf.
+func KSStatistic(xs []float64, cdf func(float64) float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: KSStatistic on empty data")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var d float64
+	for i, x := range s {
+		f := cdf(x)
+		lo := f - float64(i)/n
+		hi := float64(i+1)/n - f
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// KSPValue returns the asymptotic p-value for a one-sample KS statistic d
+// with sample size n, using the Kolmogorov limiting distribution with the
+// standard finite-n adjustment λ = (√n + 0.12 + 0.11/√n)·d.
+func KSPValue(d float64, n int) float64 {
+	if n <= 0 {
+		panic("stats: KSPValue needs positive n")
+	}
+	sn := math.Sqrt(float64(n))
+	lambda := (sn + 0.12 + 0.11/sn) * d
+	return kolmogorovQ(lambda)
+}
+
+// kolmogorovQ evaluates Q_KS(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²).
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(-2*float64(j*j)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12*math.Abs(sum)+1e-300 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		// I_x(1, 1) = x (uniform distribution).
+		{1, 1, 0.25, 0.25},
+		{1, 1, 0.75, 0.75},
+		// I_x(1, b) = 1 − (1−x)^b.
+		{1, 3, 0.5, 1 - math.Pow(0.5, 3)},
+		// I_x(a, 1) = x^a.
+		{2, 1, 0.3, 0.09},
+		// Symmetry point: I_{1/2}(a, a) = 1/2.
+		{5, 5, 0.5, 0.5},
+		{0.5, 0.5, 0.5, 0.5},
+		// I_{1/2}(0.5, 0.5) relates to arcsin: I_x(1/2,1/2) = (2/π)·asin(√x).
+		{0.5, 0.5, 0.25, 2 / math.Pi * math.Asin(0.5)},
+	}
+	for _, c := range cases {
+		got := RegIncBeta(c.a, c.b, c.x)
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("RegIncBeta(%v,%v,%v) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v, want 0", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v, want 1", got)
+	}
+	if got := RegIncBeta(-1, 3, 0.5); !math.IsNaN(got) {
+		t.Errorf("negative a should yield NaN, got %v", got)
+	}
+}
+
+func TestRegIncBetaMonotoneAndSymmetric(t *testing.T) {
+	if err := quick.Check(func(aRaw, bRaw, xRaw uint16) bool {
+		a := 0.5 + float64(aRaw%100)/10
+		b := 0.5 + float64(bRaw%100)/10
+		x := float64(xRaw%999+1) / 1000
+		v := RegIncBeta(a, b, x)
+		if v < 0 || v > 1 {
+			return false
+		}
+		// Symmetry identity: I_x(a,b) + I_{1-x}(b,a) = 1.
+		if !almostEqual(v+RegIncBeta(b, a, 1-x), 1, 1e-10) {
+			return false
+		}
+		// Monotone in x.
+		x2 := x + (1-x)/2
+		return RegIncBeta(a, b, x2) >= v-1e-12
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncGammaKnownValues(t *testing.T) {
+	// P(1, x) = 1 − e^{−x}.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := RegIncGammaLower(1, x); !almostEqual(got, want, 1e-12) {
+			t.Errorf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(1/2, x) = erf(√x).
+	for _, x := range []float64{0.2, 1, 3} {
+		want := math.Erf(math.Sqrt(x))
+		if got := RegIncGammaLower(0.5, x); !almostEqual(got, want, 1e-12) {
+			t.Errorf("P(0.5,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestRegIncGammaComplement(t *testing.T) {
+	if err := quick.Check(func(aRaw, xRaw uint16) bool {
+		a := 0.5 + float64(aRaw%200)/10
+		x := float64(xRaw%400) / 10
+		p := RegIncGammaLower(a, x)
+		q := RegIncGammaUpper(a, x)
+		return almostEqual(p+q, 1, 1e-10) && p >= 0 && p <= 1
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncGammaEdge(t *testing.T) {
+	if got := RegIncGammaLower(2, 0); got != 0 {
+		t.Errorf("P(2,0) = %v, want 0", got)
+	}
+	if got := RegIncGammaUpper(2, 0); got != 1 {
+		t.Errorf("Q(2,0) = %v, want 1", got)
+	}
+	if got := RegIncGammaLower(0, 1); !math.IsNaN(got) {
+		t.Errorf("P(0,1) = %v, want NaN", got)
+	}
+}
+
+func TestLogGamma(t *testing.T) {
+	// Γ(5) = 24, Γ(1/2) = √π.
+	if got := LogGamma(5); !almostEqual(got, math.Log(24), 1e-14) {
+		t.Errorf("LogGamma(5) = %v", got)
+	}
+	if got := LogGamma(0.5); !almostEqual(got, 0.5*math.Log(math.Pi), 1e-14) {
+		t.Errorf("LogGamma(0.5) = %v", got)
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		nu, x, want float64
+	}{
+		{1, 0, 0.5},
+		{1, 1, 0.75}, // Cauchy: F(1) = 3/4
+		{1, -1, 0.25},
+		{2, math.Sqrt2, 0.8535533905932737}, // F(x; 2) = 1/2 + x/(2√(2+x²))
+		{5, 2.015048372669157, 0.95},
+		{9, 2.262157162740992, 0.975},
+	}
+	for _, c := range cases {
+		got := StudentT{Nu: c.nu}.CDF(c.x)
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("t CDF(nu=%v, x=%v) = %v, want %v", c.nu, c.x, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		nu, p, want float64
+	}{
+		{1, 0.75, 1},
+		{5, 0.95, 2.015048372669157},
+		{9, 0.975, 2.262157162740992},
+		{30, 0.975, 2.042272456301238},
+		{2, 0.975, 4.302652729911275},
+		{1, 0.975, 12.706204736432095},
+	}
+	for _, c := range cases {
+		got := StudentT{Nu: c.nu}.Quantile(c.p)
+		if !almostEqual(got, c.want, 1e-8) {
+			t.Errorf("t Quantile(nu=%v, p=%v) = %v, want %v", c.nu, c.p, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileRoundTrip(t *testing.T) {
+	if err := quick.Check(func(nuRaw, pRaw uint16) bool {
+		nu := float64(nuRaw%60 + 1)
+		p := float64(pRaw%9998+1) / 1e4
+		d := StudentT{Nu: nu}
+		x := d.Quantile(p)
+		return almostEqual(d.CDF(x), p, 1e-8)
+	}, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStudentTSymmetry(t *testing.T) {
+	d := StudentT{Nu: 7}
+	for _, x := range []float64{0.1, 0.7, 1.5, 3, 10} {
+		if !almostEqual(d.CDF(x)+d.CDF(-x), 1, 1e-12) {
+			t.Errorf("CDF(%v)+CDF(-%v) != 1", x, x)
+		}
+	}
+}
+
+func TestStudentTApproachesNormal(t *testing.T) {
+	// For large nu the t distribution converges to the standard normal.
+	d := StudentT{Nu: 10000}
+	for _, p := range []float64{0.9, 0.95, 0.975, 0.99} {
+		tq := d.Quantile(p)
+		zq := StdNormal.Quantile(p)
+		if math.Abs(tq-zq) > 5e-4*math.Abs(zq)+5e-4 {
+			t.Errorf("nu=1e4 quantile(%v)=%v, normal=%v", p, tq, zq)
+		}
+	}
+}
+
+func TestTwoSidedT(t *testing.T) {
+	// Paper's usage: k−1 degrees of freedom, 90% confidence.
+	// t_{0.95, 9} = 1.833112932653.
+	if got := TwoSidedT(0.90, 9); !almostEqual(got, 1.8331129326536335, 1e-8) {
+		t.Errorf("TwoSidedT(0.90, 9) = %v", got)
+	}
+	// t_{0.95, 1} = 6.313751514675.
+	if got := TwoSidedT(0.90, 1); !almostEqual(got, 6.313751514675041, 1e-8) {
+		t.Errorf("TwoSidedT(0.90, 1) = %v", got)
+	}
+}
+
+func TestTwoSidedTPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { TwoSidedT(0, 5) },
+		func() { TwoSidedT(1, 5) },
+		func() { TwoSidedT(0.9, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStudentTPDFNormalizes(t *testing.T) {
+	d := StudentT{Nu: 4}
+	const steps = 40000
+	lo, hi := -50.0, 50.0
+	h := (hi - lo) / steps
+	sum := (d.PDF(lo) + d.PDF(hi)) / 2
+	for i := 1; i < steps; i++ {
+		sum += d.PDF(lo + float64(i)*h)
+	}
+	if integral := sum * h; !almostEqual(integral, 1, 1e-4) {
+		t.Errorf("∫pdf = %v, want 1", integral)
+	}
+}

@@ -1,0 +1,204 @@
+package vectorgen
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/power"
+	"repro/internal/stats"
+)
+
+// Options configures Build.
+type Options struct {
+	// Size is the number of vector pairs in the finite population.
+	Size int
+	// Seed makes the population reproducible.
+	Seed uint64
+	// Workers is the parallelism for power evaluation; 0 means NumCPU.
+	Workers int
+	// KeepPairs retains the raw vectors after power evaluation. The
+	// estimator only needs power values, so large experiment populations
+	// leave this false to save memory.
+	KeepPairs bool
+}
+
+// Population is a finite set V of vector pairs with their simulated cycle
+// powers. It is the sampling universe of the estimation procedures: the
+// paper's |V| is Size(), its ω(F) is TrueMax(), and the "qualified units"
+// census of Tables 1–4 is QualifiedFraction.
+type Population struct {
+	name    string
+	powers  []float64 // cycle power per unit, milliwatts
+	pairs   []Pair    // nil unless Options.KeepPairs
+	maxIdx  int
+	sumMW   float64
+	unitsIn int // input width, for reporting
+}
+
+// Build generates a population with gen and evaluates every unit's cycle
+// power with eval (in parallel). The result is deterministic in
+// Options.Seed regardless of worker count because generation is
+// sequential and only simulation is parallel.
+func Build(eval *power.Evaluator, gen Generator, opt Options) (*Population, error) {
+	if opt.Size <= 0 {
+		return nil, fmt.Errorf("vectorgen: population size must be positive, got %d", opt.Size)
+	}
+	if gen.Inputs() != eval.Circuit().NumInputs() {
+		return nil, fmt.Errorf("vectorgen: generator width %d != circuit %s inputs %d",
+			gen.Inputs(), eval.Circuit().Name, eval.Circuit().NumInputs())
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > opt.Size {
+		workers = opt.Size
+	}
+
+	rng := stats.NewRNG(opt.Seed)
+	pairs := make([]Pair, opt.Size)
+	for i := range pairs {
+		pairs[i] = gen.Generate(rng)
+	}
+
+	powers := make([]float64, opt.Size)
+	var wg sync.WaitGroup
+	chunk := (opt.Size + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > opt.Size {
+			hi = opt.Size
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ev := eval.Clone()
+			if ev.ZeroDelay() {
+				// Bit-parallel fast path: 64 pairs per settle pass.
+				v1s := make([][]bool, 0, 64)
+				v2s := make([][]bool, 0, 64)
+				for base := lo; base < hi; base += 64 {
+					end := base + 64
+					if end > hi {
+						end = hi
+					}
+					v1s, v2s = v1s[:0], v2s[:0]
+					for i := base; i < end; i++ {
+						v1s = append(v1s, pairs[i].V1)
+						v2s = append(v2s, pairs[i].V2)
+					}
+					batch, err := ev.ZeroDelayBatchMW(v1s, v2s)
+					if err != nil {
+						// Fall back to the serial path on any batch error.
+						for i := base; i < end; i++ {
+							powers[i] = ev.CyclePowerMW(pairs[i].V1, pairs[i].V2)
+						}
+						continue
+					}
+					copy(powers[base:end], batch)
+				}
+				return
+			}
+			for i := lo; i < hi; i++ {
+				powers[i] = ev.CyclePowerMW(pairs[i].V1, pairs[i].V2)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	p := &Population{
+		name:    fmt.Sprintf("%s/%s/%d", eval.Circuit().Name, gen.Name(), opt.Size),
+		powers:  powers,
+		unitsIn: gen.Inputs(),
+	}
+	for i, v := range powers {
+		p.sumMW += v
+		if v > powers[p.maxIdx] {
+			p.maxIdx = i
+		}
+	}
+	if opt.KeepPairs {
+		p.pairs = pairs
+	}
+	return p, nil
+}
+
+// FromPowers wraps precomputed power values as a population (used by tests
+// and by callers with analytic distributions).
+func FromPowers(name string, powers []float64) *Population {
+	if len(powers) == 0 {
+		panic("vectorgen: empty population")
+	}
+	p := &Population{name: name, powers: append([]float64(nil), powers...)}
+	for i, v := range p.powers {
+		p.sumMW += v
+		if v > p.powers[p.maxIdx] {
+			p.maxIdx = i
+		}
+	}
+	return p
+}
+
+// Name identifies the population in reports.
+func (p *Population) Name() string { return p.name }
+
+// Size returns |V|.
+func (p *Population) Size() int { return len(p.powers) }
+
+// Power returns the cycle power (mW) of unit i.
+func (p *Population) Power(i int) float64 { return p.powers[i] }
+
+// Powers returns the full power vector (callers must not modify it).
+func (p *Population) Powers() []float64 { return p.powers }
+
+// Pair returns the vectors of unit i; it panics if the population was
+// built without KeepPairs.
+func (p *Population) Pair(i int) Pair {
+	if p.pairs == nil {
+		panic("vectorgen: population built without KeepPairs")
+	}
+	return p.pairs[i]
+}
+
+// HasPairs reports whether raw vectors were retained.
+func (p *Population) HasPairs() bool { return p.pairs != nil }
+
+// TrueMax returns ω(F), the actual maximum power of the population (mW).
+func (p *Population) TrueMax() float64 { return p.powers[p.maxIdx] }
+
+// TrueMaxIndex returns the index of the maximum-power unit.
+func (p *Population) TrueMaxIndex() int { return p.maxIdx }
+
+// MeanPower returns the average power of the population (mW).
+func (p *Population) MeanPower() float64 { return p.sumMW / float64(len(p.powers)) }
+
+// QualifiedFraction returns Y = Z/|V| where Z counts units whose power is
+// within eps (relative) of the true maximum — the paper's "qualified
+// units" (Tables 1, 3, 4 use eps = 0.05).
+func (p *Population) QualifiedFraction(eps float64) float64 {
+	threshold := p.TrueMax() * (1 - eps)
+	z := 0
+	for _, v := range p.powers {
+		if v >= threshold {
+			z++
+		}
+	}
+	return float64(z) / float64(len(p.powers))
+}
+
+// SampleIndex draws one unit index uniformly (sampling with replacement —
+// the population is conceptually infinite because repeats are allowed).
+func (p *Population) SampleIndex(rng *stats.RNG) int { return rng.Intn(len(p.powers)) }
+
+// SamplePower draws one unit's power uniformly with replacement.
+func (p *Population) SamplePower(rng *stats.RNG) float64 {
+	return p.powers[rng.Intn(len(p.powers))]
+}
+
+// ECDF returns the empirical CDF of the population's power values.
+func (p *Population) ECDF() *stats.ECDF { return stats.NewECDF(p.powers) }

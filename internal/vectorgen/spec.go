@@ -1,0 +1,98 @@
+package vectorgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Spec is the serializable form of a Category I.2 input constraint: a
+// transition/joint-transition probability specification for the circuit
+// inputs. It deserializes from JSON like:
+//
+//	{
+//	  "default": 0.3,
+//	  "inputs":  {"5": 0.9, "6": 0.0},
+//	  "groups":  [{"inputs": [0,1,2,3], "prob": 0.8}]
+//	}
+//
+// Inputs listed in a group transition jointly with the group probability;
+// inputs named in "inputs" use their own independent probability; all
+// remaining inputs use "default". Indices refer to the circuit's primary
+// inputs in declaration order.
+type Spec struct {
+	// Default is the transition probability of unlisted inputs.
+	Default float64 `json:"default"`
+	// Inputs holds per-input overrides, keyed by decimal input index.
+	Inputs map[string]float64 `json:"inputs,omitempty"`
+	// Groups holds jointly-transitioning input sets.
+	Groups []SpecGroup `json:"groups,omitempty"`
+}
+
+// SpecGroup is one joint-transition set.
+type SpecGroup struct {
+	Inputs []int   `json:"inputs"`
+	Prob   float64 `json:"prob"`
+}
+
+// ParseSpec reads a JSON Spec.
+func ParseSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("vectorgen: parsing spec: %w", err)
+	}
+	return s, nil
+}
+
+// Generator materializes the spec for a circuit with n inputs. Per-input
+// overrides are expressed through a Constrained generator when no groups
+// exist, and through Grouped (with singleton groups for the overrides)
+// otherwise.
+func (s Spec) Generator(n int) (Generator, error) {
+	if s.Default < 0 || s.Default > 1 {
+		return nil, fmt.Errorf("vectorgen: default probability %v out of [0,1]", s.Default)
+	}
+	overrides := make(map[int]float64, len(s.Inputs))
+	for key, p := range s.Inputs {
+		var idx int
+		if _, err := fmt.Sscanf(key, "%d", &idx); err != nil {
+			return nil, fmt.Errorf("vectorgen: bad input index %q", key)
+		}
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("vectorgen: input index %d out of range [0,%d)", idx, n)
+		}
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("vectorgen: probability %v for input %d out of [0,1]", p, idx)
+		}
+		overrides[idx] = p
+	}
+
+	if len(s.Groups) == 0 {
+		probs := make([]float64, n)
+		for i := range probs {
+			if p, ok := overrides[i]; ok {
+				probs[i] = p
+			} else {
+				probs[i] = s.Default
+			}
+		}
+		return Constrained{Probs: probs, label: "spec"}, nil
+	}
+
+	g := Grouped{N: n, Default: s.Default}
+	for _, grp := range s.Groups {
+		g.Groups = append(g.Groups, append([]int(nil), grp.Inputs...))
+		g.Probs = append(g.Probs, grp.Prob)
+	}
+	// Singleton groups carry the per-input overrides.
+	for idx, p := range overrides {
+		g.Groups = append(g.Groups, []int{idx})
+		g.Probs = append(g.Probs, p)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

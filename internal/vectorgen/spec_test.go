@@ -1,0 +1,115 @@
+package vectorgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestParseSpecAndGenerate(t *testing.T) {
+	const src = `{
+		"default": 0.3,
+		"inputs": {"5": 0.9, "6": 0.0},
+		"groups": [{"inputs": [0,1,2,3], "prob": 0.8}]
+	}`
+	spec, err := ParseSpec(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := spec.Generator(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	const draws = 20000
+	flips := make([]int, 8)
+	jointOK := true
+	for i := 0; i < draws; i++ {
+		p := gen.Generate(rng)
+		f0 := p.V1[0] != p.V2[0]
+		for j := 0; j < 8; j++ {
+			if p.V1[j] != p.V2[j] {
+				flips[j]++
+			}
+		}
+		// Group {0,1,2,3} transitions jointly.
+		for j := 1; j < 4; j++ {
+			if (p.V1[j] != p.V2[j]) != f0 {
+				jointOK = false
+			}
+		}
+	}
+	if !jointOK {
+		t.Error("group did not transition jointly")
+	}
+	checks := map[int]float64{0: 0.8, 4: 0.3, 5: 0.9, 6: 0.0, 7: 0.3}
+	for idx, want := range checks {
+		got := float64(flips[idx]) / draws
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("input %d flip rate %v, want %v", idx, got, want)
+		}
+	}
+}
+
+func TestSpecWithoutGroupsUsesConstrained(t *testing.T) {
+	spec := Spec{Default: 0.5, Inputs: map[string]float64{"1": 1.0}}
+	gen, err := spec.Generator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := gen.(Constrained); !ok {
+		t.Fatalf("expected Constrained, got %T", gen)
+	}
+	rng := stats.NewRNG(2)
+	for i := 0; i < 200; i++ {
+		p := gen.Generate(rng)
+		if p.V1[1] == p.V2[1] {
+			t.Fatal("probability-1 input did not flip")
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	cases := map[string]Spec{
+		"bad default":   {Default: 1.5},
+		"bad index":     {Default: 0.5, Inputs: map[string]float64{"xx": 0.5}},
+		"oob index":     {Default: 0.5, Inputs: map[string]float64{"9": 0.5}},
+		"neg index":     {Default: 0.5, Inputs: map[string]float64{"-1": 0.5}},
+		"bad prob":      {Default: 0.5, Inputs: map[string]float64{"0": 2}},
+		"group overlap": {Default: 0.5, Groups: []SpecGroup{{Inputs: []int{0}, Prob: 0.5}, {Inputs: []int{0}, Prob: 0.2}}},
+		"group oob":     {Default: 0.5, Groups: []SpecGroup{{Inputs: []int{10}, Prob: 0.5}}},
+	}
+	for name, s := range cases {
+		if _, err := s.Generator(4); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"default": "high"}`,
+		`{"unknown_field": 1}`,
+	}
+	for _, src := range bad {
+		if _, err := ParseSpec(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestSpecOverridePlusGroupConflict(t *testing.T) {
+	// An input both in a group and in per-input overrides must be
+	// rejected by Grouped validation (duplicate membership).
+	spec := Spec{
+		Default: 0.3,
+		Inputs:  map[string]float64{"0": 0.9},
+		Groups:  []SpecGroup{{Inputs: []int{0, 1}, Prob: 0.5}},
+	}
+	if _, err := spec.Generator(4); err == nil {
+		t.Error("conflicting membership accepted")
+	}
+}

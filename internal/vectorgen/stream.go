@@ -1,0 +1,64 @@
+package vectorgen
+
+import (
+	"sync/atomic"
+
+	"repro/internal/power"
+	"repro/internal/stats"
+)
+
+// StreamSource simulates vector pairs on demand instead of drawing from a
+// precomputed finite population. This is the estimation flow a user
+// actually runs against a real design: no ground truth exists, each
+// sampled unit costs one simulation, and the estimator's unit count is
+// the true cost. It implements evt.Source with Size() = 0 (the pair space
+// is treated as infinite because repetition is allowed), or with an
+// explicit DeclaredSize when the §3.4 finite-population correction should
+// target a nominal |V|.
+//
+// StreamSource is safe for sequential use only (like the estimator
+// itself); the underlying evaluator is cloned per instance.
+type StreamSource struct {
+	eval *power.Evaluator
+	gen  Generator
+	// DeclaredSize, when positive, is reported by Size() so the estimator
+	// applies the finite-population quantile correction for a nominal
+	// population of that many pairs.
+	DeclaredSize int
+
+	simulated atomic.Int64
+}
+
+// NewStreamSource builds an on-demand source from an evaluator and a
+// generator. The evaluator is cloned, so the caller's instance stays
+// usable.
+func NewStreamSource(eval *power.Evaluator, gen Generator) (*StreamSource, error) {
+	if gen.Inputs() != eval.Circuit().NumInputs() {
+		return nil, &widthError{gen: gen.Inputs(), circuit: eval.Circuit().NumInputs(), name: eval.Circuit().Name}
+	}
+	return &StreamSource{eval: eval.Clone(), gen: gen}, nil
+}
+
+type widthError struct {
+	gen, circuit int
+	name         string
+}
+
+func (e *widthError) Error() string {
+	return "vectorgen: generator width mismatch for circuit " + e.name
+}
+
+// SamplePower implements evt.Source: generate one pair, simulate it,
+// return its cycle power in milliwatts.
+func (s *StreamSource) SamplePower(rng *stats.RNG) float64 {
+	p := s.gen.Generate(rng)
+	s.simulated.Add(1)
+	return s.eval.CyclePowerMW(p.V1, p.V2)
+}
+
+// Size implements evt.Source.
+func (s *StreamSource) Size() int { return s.DeclaredSize }
+
+// Simulated returns the number of pairs simulated so far — the method's
+// real cost counter.
+func (s *StreamSource) Simulated() int64 { return s.simulated.Load() }

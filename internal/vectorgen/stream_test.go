@@ -1,0 +1,87 @@
+package vectorgen
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+	"repro/internal/power"
+	"repro/internal/stats"
+)
+
+func TestStreamSourceBasics(t *testing.T) {
+	c := bench.MustGenerate("C432")
+	eval := power.NewEvaluator(c, delay.FanoutLoaded{}, power.Params{})
+	src, err := NewStreamSource(eval, HighActivity{N: c.NumInputs(), MinActivity: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Size() != 0 {
+		t.Error("default size must be 0 (infinite)")
+	}
+	rng := stats.NewRNG(1)
+	for i := 0; i < 50; i++ {
+		if p := src.SamplePower(rng); p <= 0 {
+			t.Fatalf("draw %d: power %v", i, p)
+		}
+	}
+	if src.Simulated() != 50 {
+		t.Errorf("simulated = %d, want 50", src.Simulated())
+	}
+	src.DeclaredSize = 12345
+	if src.Size() != 12345 {
+		t.Error("DeclaredSize not reported")
+	}
+}
+
+func TestStreamSourceWidthMismatch(t *testing.T) {
+	c := bench.MustGenerate("C432")
+	eval := power.NewEvaluator(c, delay.FanoutLoaded{}, power.Params{})
+	if _, err := NewStreamSource(eval, Uniform{N: 3}); err == nil {
+		t.Fatal("width mismatch accepted")
+	} else if err.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestStreamSourceDeterministicInRNG(t *testing.T) {
+	c := bench.MustGenerate("C432")
+	eval := power.NewEvaluator(c, delay.FanoutLoaded{}, power.Params{})
+	gen := Uniform{N: c.NumInputs()}
+	s1, _ := NewStreamSource(eval, gen)
+	s2, _ := NewStreamSource(eval, gen)
+	r1, r2 := stats.NewRNG(9), stats.NewRNG(9)
+	for i := 0; i < 20; i++ {
+		if s1.SamplePower(r1) != s2.SamplePower(r2) {
+			t.Fatal("stream sources diverged under equal RNG streams")
+		}
+	}
+}
+
+func TestStreamSourceMatchesPopulationDistribution(t *testing.T) {
+	// Streamed draws and a built population from the same generator seed
+	// family must produce statistically indistinguishable power samples.
+	c := bench.MustGenerate("C432")
+	eval := power.NewEvaluator(c, delay.FanoutLoaded{}, power.Params{})
+	gen := HighActivity{N: c.NumInputs(), MinActivity: 0.3}
+	pop, err := Build(eval, gen, Options{Size: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := NewStreamSource(eval, gen)
+	rng := stats.NewRNG(4)
+	streamed := make([]float64, 2000)
+	for i := range streamed {
+		streamed[i] = src.SamplePower(rng)
+	}
+	// Two-sample comparison through summary statistics (generous bands —
+	// this guards against unit mix-ups, not fine distributional drift).
+	pm, ps := stats.MeanStd(pop.Powers())
+	sm, ss := stats.MeanStd(streamed)
+	if d := (pm - sm) / pm; d > 0.05 || d < -0.05 {
+		t.Errorf("means differ: pop %v stream %v", pm, sm)
+	}
+	if r := ps / ss; r > 1.3 || r < 0.7 {
+		t.Errorf("spreads differ: pop %v stream %v", ps, ss)
+	}
+}

@@ -1,0 +1,69 @@
+package weibull
+
+import (
+	"math"
+	"sort"
+)
+
+// FitPWM estimates the reverse-Weibull parameters by probability-weighted
+// moments (Hosking's GEV estimator restricted to the bounded, k > 0
+// branch). It is the classic robust alternative to both maximum likelihood
+// and least squares for extreme-value data: closed-form, no iteration,
+// but statistically less efficient than the MLE when the model is right.
+// Returns ErrNoInteriorMax when the L-moment shape points to an unbounded
+// (Gumbel/Fréchet) law.
+func FitPWM(xs []float64) (FitResult, error) {
+	n := len(xs)
+	if n < 3 {
+		return FitResult{}, ErrDegenerate
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if s[0] == s[n-1] {
+		return FitResult{}, ErrDegenerate
+	}
+
+	// Sample probability-weighted moments b0, b1, b2 (unbiased form).
+	fn := float64(n)
+	var b0, b1, b2 float64
+	for j := 1; j <= n; j++ {
+		x := s[j-1]
+		fj := float64(j)
+		b0 += x
+		b1 += x * (fj - 1) / (fn - 1)
+		b2 += x * (fj - 1) * (fj - 2) / ((fn - 1) * (fn - 2))
+	}
+	b0 /= fn
+	b1 /= fn
+	b2 /= fn
+
+	// Hosking's approximation for the GEV shape k (k > 0 ⇔ bounded tail).
+	denom := 3*b2 - b0
+	if denom == 0 {
+		return FitResult{}, ErrNoInteriorMax
+	}
+	c := (2*b1-b0)/denom - math.Ln2/math.Log(3)
+	k := 7.859*c + 2.9554*c*c
+	if k <= 0 || math.IsNaN(k) {
+		return FitResult{}, ErrNoInteriorMax
+	}
+	g1 := math.Gamma(1 + k)
+	a := (2*b1 - b0) * k / (g1 * (1 - math.Pow(2, -k)))
+	if a <= 0 || math.IsNaN(a) {
+		return FitResult{}, ErrNoInteriorMax
+	}
+	loc := b0 + a*(g1-1)/k
+
+	// Map GEV(loc, a, k) with k > 0 to the reverse Weibull:
+	// endpoint μ = loc + a/k, shape α = 1/k, scale β = (k/a)^α.
+	mu := loc + a/k
+	alpha := 1 / k
+	beta := math.Pow(k/a, alpha)
+	d := Dist{Alpha: alpha, Beta: beta, Mu: mu}
+	if !d.Valid() || mu < s[n-1] {
+		// An endpoint below the sample maximum is inconsistent; reject
+		// rather than return an impossible distribution.
+		return FitResult{}, ErrNoInteriorMax
+	}
+	return FitResult{Dist: d, LogLik: d.LogLikelihood(xs), AlphaBelow2: alpha <= 2}, nil
+}

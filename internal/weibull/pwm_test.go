@@ -1,0 +1,138 @@
+package weibull
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestFitPWMRecoversParameters(t *testing.T) {
+	truth := Dist{Alpha: 4, Beta: 1, Mu: 10}
+	rng := stats.NewRNG(61)
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = truth.Rand(rng)
+	}
+	fit, err := FitPWM(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mu-truth.Mu) > 0.3 {
+		t.Errorf("PWM mu = %v, want ≈ %v", fit.Mu, truth.Mu)
+	}
+	if math.Abs(fit.Alpha-truth.Alpha) > 1.0 {
+		t.Errorf("PWM alpha = %v, want ≈ %v", fit.Alpha, truth.Alpha)
+	}
+	if d := fit.KSAgainst(xs); d > 0.05 {
+		t.Errorf("PWM fit KS distance = %v", d)
+	}
+}
+
+func TestFitPWMSmallSampleStability(t *testing.T) {
+	// m = 10 (the paper's hyper-sample size): PWM should succeed on most
+	// draws and stay in the right neighbourhood.
+	truth := Dist{Alpha: 5, Beta: 2, Mu: 1}
+	rng := stats.NewRNG(67)
+	ok, close := 0, 0
+	const trials = 100
+	for tr := 0; tr < trials; tr++ {
+		xs := make([]float64, 10)
+		for i := range xs {
+			xs[i] = truth.Rand(rng)
+		}
+		fit, err := FitPWM(xs)
+		if err != nil {
+			continue
+		}
+		ok++
+		if math.Abs(fit.Mu-truth.Mu) < 1.0 {
+			close++
+		}
+	}
+	if ok < trials/2 {
+		t.Errorf("PWM succeeded only %d/%d times", ok, trials)
+	}
+	if close < ok*6/10 {
+		t.Errorf("only %d/%d PWM fits near the endpoint", close, ok)
+	}
+}
+
+func TestFitPWMEndpointAboveSampleMax(t *testing.T) {
+	truth := Dist{Alpha: 3, Beta: 1, Mu: 0}
+	rng := stats.NewRNG(71)
+	for tr := 0; tr < 20; tr++ {
+		xs := make([]float64, 50)
+		xmax := math.Inf(-1)
+		for i := range xs {
+			xs[i] = truth.Rand(rng)
+			if xs[i] > xmax {
+				xmax = xs[i]
+			}
+		}
+		fit, err := FitPWM(xs)
+		if err != nil {
+			continue
+		}
+		if fit.Mu < xmax {
+			t.Fatalf("PWM endpoint %v below sample max %v", fit.Mu, xmax)
+		}
+	}
+}
+
+func TestFitPWMDegenerateAndUnbounded(t *testing.T) {
+	if _, err := FitPWM([]float64{1, 2}); err != ErrDegenerate {
+		t.Errorf("short sample: %v", err)
+	}
+	if _, err := FitPWM([]float64{3, 3, 3}); err != ErrDegenerate {
+		t.Errorf("constant sample: %v", err)
+	}
+	// Heavy-tailed (Fréchet-like) data: 1/U has no finite endpoint; PWM
+	// must reject rather than fabricate one.
+	rng := stats.NewRNG(73)
+	xs := make([]float64, 200)
+	for i := range xs {
+		u := rng.Float64()
+		if u < 1e-9 {
+			u = 1e-9
+		}
+		xs[i] = 1 / u
+	}
+	if fit, err := FitPWM(xs); err == nil {
+		// Occasionally a sample can look bounded; then the endpoint must
+		// at least exceed the max.
+		for _, x := range xs {
+			if fit.Mu < x {
+				t.Fatalf("accepted endpoint below data: %v < %v", fit.Mu, x)
+			}
+		}
+	}
+}
+
+func TestFitPWMVsMLEEfficiency(t *testing.T) {
+	// With the model correct, the MLE should be at least as accurate as
+	// PWM on median error over repeated m=30 draws (PWM trades efficiency
+	// for robustness).
+	truth := Dist{Alpha: 4, Beta: 1, Mu: 10}
+	rng := stats.NewRNG(79)
+	var mleErr, pwmErr []float64
+	for tr := 0; tr < 60; tr++ {
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = truth.Rand(rng)
+		}
+		if fit, err := FitMLE(xs); err == nil {
+			mleErr = append(mleErr, math.Abs(fit.Mu-truth.Mu))
+		}
+		if fit, err := FitPWM(xs); err == nil {
+			pwmErr = append(pwmErr, math.Abs(fit.Mu-truth.Mu))
+		}
+	}
+	if len(mleErr) < 30 || len(pwmErr) < 30 {
+		t.Skipf("too few fits: mle %d pwm %d", len(mleErr), len(pwmErr))
+	}
+	med := func(v []float64) float64 { return stats.Summarize(v).Median }
+	if med(mleErr) > 2.5*med(pwmErr)+0.2 {
+		t.Errorf("MLE median error %v far worse than PWM %v", med(mleErr), med(pwmErr))
+	}
+}

@@ -1,0 +1,391 @@
+// Package weibull implements the generalized Weibull-type (reverse
+// Weibull) extreme-value distribution of the paper's Eqn. (2.16),
+//
+//	G(x; α, β, μ) = exp(−β·(μ−x)^α)  for x ≤ μ,  1 for x > μ,
+//
+// together with the non-regular maximum-likelihood estimator of
+// (α, β, μ) (Smith-style profile likelihood) and the least-squares CDF
+// fit used by the paper's Figure 1. The location parameter μ is the
+// distribution's right endpoint — for sample-maxima data it estimates the
+// population maximum power.
+//
+// Note on the exponent sign: the paper prints exp(−β(μ−x)^{−α}), but its
+// own Eqn. (2.5) (G_{2,α}(x) = exp(−(−x)^α) for x ≤ 0) and the relation
+// β = (1/aₙ)^α require the exponent +α; this package implements the
+// standard reverse Weibull.
+package weibull
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Dist is a generalized reverse-Weibull distribution. Alpha is the shape,
+// Beta the scale factor, Mu the location (right endpoint).
+type Dist struct {
+	Alpha float64
+	Beta  float64
+	Mu    float64
+}
+
+// Valid reports whether the parameters define a proper distribution.
+func (d Dist) Valid() bool {
+	return d.Alpha > 0 && d.Beta > 0 && !math.IsNaN(d.Mu) && !math.IsInf(d.Mu, 0)
+}
+
+// CDF returns G(x).
+func (d Dist) CDF(x float64) float64 {
+	if x >= d.Mu {
+		return 1
+	}
+	return math.Exp(-d.Beta * math.Pow(d.Mu-x, d.Alpha))
+}
+
+// PDF returns the density g(x) = αβ(μ−x)^{α−1}·G(x) for x < μ.
+func (d Dist) PDF(x float64) float64 {
+	if x >= d.Mu {
+		return 0
+	}
+	y := d.Mu - x
+	return d.Alpha * d.Beta * math.Pow(y, d.Alpha-1) * math.Exp(-d.Beta*math.Pow(y, d.Alpha))
+}
+
+// Quantile returns G⁻¹(q) = μ − (−ln q / β)^{1/α}. Quantile(1) = μ,
+// Quantile(0) = −Inf.
+func (d Dist) Quantile(q float64) float64 {
+	switch {
+	case math.IsNaN(q) || q < 0 || q > 1:
+		return math.NaN()
+	case q == 0:
+		return math.Inf(-1)
+	case q == 1:
+		return d.Mu
+	}
+	return d.Mu - math.Pow(-math.Log(q)/d.Beta, 1/d.Alpha)
+}
+
+// UpperQuantile returns G⁻¹(1−p) computed without cancellation for tiny
+// tail probabilities p (the finite-population estimator uses p = 1/|V|).
+func (d Dist) UpperQuantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return d.Mu
+	case p == 1:
+		return math.Inf(-1)
+	}
+	// −ln(1−p) via Log1p keeps precision for p ~ 1e-6.
+	return d.Mu - math.Pow(-math.Log1p(-p)/d.Beta, 1/d.Alpha)
+}
+
+// Rand draws one variate by inverse transform.
+func (d Dist) Rand(rng *stats.RNG) float64 {
+	u := rng.Float64()
+	// Avoid u = 0 exactly (Quantile(0) = −Inf).
+	if u == 0 {
+		u = 0.5 / (1 << 53)
+	}
+	return d.Quantile(u)
+}
+
+// Mean returns E[X] = μ − β^{−1/α}·Γ(1 + 1/α).
+func (d Dist) Mean() float64 {
+	return d.Mu - math.Pow(d.Beta, -1/d.Alpha)*math.Gamma(1+1/d.Alpha)
+}
+
+// Variance returns Var[X] = β^{−2/α}·(Γ(1+2/α) − Γ(1+1/α)²).
+func (d Dist) Variance() float64 {
+	g1 := math.Gamma(1 + 1/d.Alpha)
+	g2 := math.Gamma(1 + 2/d.Alpha)
+	return math.Pow(d.Beta, -2/d.Alpha) * (g2 - g1*g1)
+}
+
+// LogLikelihood returns Σ log g(xᵢ); −Inf if any xᵢ ≥ μ.
+func (d Dist) LogLikelihood(xs []float64) float64 {
+	var ll float64
+	la, lb := math.Log(d.Alpha), math.Log(d.Beta)
+	for _, x := range xs {
+		if x >= d.Mu {
+			return math.Inf(-1)
+		}
+		y := d.Mu - x
+		ll += la + lb + (d.Alpha-1)*math.Log(y) - d.Beta*math.Pow(y, d.Alpha)
+	}
+	return ll
+}
+
+// String renders the parameters.
+func (d Dist) String() string {
+	return fmt.Sprintf("RevWeibull(α=%.4g, β=%.4g, μ=%.6g)", d.Alpha, d.Beta, d.Mu)
+}
+
+// ErrDegenerate is returned when the sample cannot support a fit (too few
+// distinct values).
+var ErrDegenerate = errors.New("weibull: degenerate sample")
+
+// ErrNoInteriorMax is returned when the profile likelihood has no interior
+// maximum in μ (the data look Gumbel/heavy-tailed); callers typically fall
+// back to the empirical maximum.
+var ErrNoInteriorMax = errors.New("weibull: profile likelihood has no interior maximum")
+
+// shapeMLE solves the profile shape equation for fixed μ on the shifted
+// sample y = μ − x (all entries must be positive):
+//
+//	m/α + Σ log yᵢ − m·(Σ yᵢ^α log yᵢ)/(Σ yᵢ^α) = 0
+//
+// subject to α ≥ alphaMin. The left side is strictly decreasing in α, so
+// when it is already non-positive at alphaMin the constrained optimum sits
+// on the boundary. Returns (α, logβ, ok).
+func shapeMLE(y []float64, alphaMin float64) (alpha, logBeta float64, ok bool) {
+	m := float64(len(y))
+	// Scale by the maximum for overflow safety; the equation is
+	// scale-invariant, and β is recovered in log space afterwards.
+	c := 0.0
+	for _, v := range y {
+		if v > c {
+			c = v
+		}
+	}
+	if c == 0 {
+		return 0, 0, false
+	}
+	ys := make([]float64, len(y))
+	logs := make([]float64, len(y))
+	allEqual := true
+	for i, v := range y {
+		ys[i] = v / c
+		logs[i] = math.Log(ys[i])
+		if v != y[0] {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		return 0, 0, false
+	}
+	var s0 float64
+	for _, l := range logs {
+		s0 += l
+	}
+	f := func(a float64) float64 {
+		var A, B float64
+		for i, v := range ys {
+			p := math.Pow(v, a)
+			B += p
+			A += p * logs[i]
+		}
+		return m/a + s0 - m*A/B
+	}
+	if alphaMin <= 0 {
+		alphaMin = 1e-6
+	}
+	var a float64
+	if f(alphaMin) <= 0 {
+		// Constrained optimum on the boundary (likelihood decreasing in α
+		// beyond alphaMin).
+		a = alphaMin
+	} else {
+		lo, hi := alphaMin, math.Max(2*alphaMin, 1)
+		for f(hi) > 0 {
+			hi *= 2
+			if hi > 1e9 {
+				return 0, 0, false
+			}
+		}
+		var err error
+		a, err = stats.Bisect(f, lo, hi, 1e-12)
+		if err != nil {
+			return 0, 0, false
+		}
+	}
+	var B float64
+	for _, v := range ys {
+		B += math.Pow(v, a)
+	}
+	// β = m / Σ y^α = m / (c^α · B).
+	logBeta = math.Log(m) - a*math.Log(c) - math.Log(B)
+	return a, logBeta, true
+}
+
+// profileLogLik returns the profile log-likelihood at location mu, i.e.
+// the log-likelihood maximized over (α ≥ alphaMin, β) for that μ.
+// ℓ*(μ) = m·log α̂ + m·log β̂ + (α̂−1)·Σ log yᵢ − m.
+func profileLogLik(xs []float64, mu, alphaMin float64) (ll float64, d Dist, ok bool) {
+	m := float64(len(xs))
+	y := make([]float64, len(xs))
+	var s0 float64
+	for i, x := range xs {
+		v := mu - x
+		if v <= 0 {
+			return math.Inf(-1), Dist{}, false
+		}
+		y[i] = v
+		s0 += math.Log(v)
+	}
+	a, logB, ok := shapeMLE(y, alphaMin)
+	if !ok {
+		return math.Inf(-1), Dist{}, false
+	}
+	ll = m*math.Log(a) + m*logB + (a-1)*s0 - m
+	return ll, Dist{Alpha: a, Beta: math.Exp(logB), Mu: mu}, true
+}
+
+// DefaultAlphaMin is the shape lower bound used by FitMLE. The paper's
+// Theorem 3 requires α > 2 for asymptotic normality and §3.2 argues α is
+// always above 2 when the sample size is much smaller than |V|; imposing
+// the constraint also removes the classic unbounded-likelihood pathology
+// of the 3-parameter Weibull as μ → max(x).
+const DefaultAlphaMin = 2.0
+
+// FitResult reports an MLE fit.
+type FitResult struct {
+	Dist
+	LogLik float64
+	// AlphaBelow2 flags fits whose shape estimate violates the paper's
+	// α > 2 regularity condition (Theorem 3 requires α > 2 for asymptotic
+	// normality); the estimate is still returned.
+	AlphaBelow2 bool
+}
+
+// FitMLE computes the maximum-likelihood reverse-Weibull fit under the
+// paper's regularity constraint α ≥ 2 (DefaultAlphaMin). See FitMLEShape
+// for the general form.
+func FitMLE(xs []float64) (FitResult, error) {
+	return FitMLEShape(xs, DefaultAlphaMin)
+}
+
+// FitMLEShape computes the maximum-likelihood reverse-Weibull fit with
+// shape constrained to α ≥ alphaMin, by profiling the likelihood over μ:
+// an outer bracketed golden-section search on μ with the inner
+// (β, α)-profile solved exactly. It requires at least 3 distinct sample
+// values. When the profile likelihood has no interior maximum over μ it
+// returns ErrNoInteriorMax. Passing alphaMin ≤ 0 removes the constraint
+// (which reintroduces the unbounded-likelihood pathology for small
+// samples — useful only for ablation).
+func FitMLEShape(xs []float64, alphaMin float64) (FitResult, error) {
+	if len(xs) < 3 {
+		return FitResult{}, ErrDegenerate
+	}
+	xmax, xmin := xs[0], xs[0]
+	for _, x := range xs {
+		if x > xmax {
+			xmax = x
+		}
+		if x < xmin {
+			xmin = x
+		}
+	}
+	if xmax == xmin {
+		return FitResult{}, ErrDegenerate
+	}
+	spread := xmax - xmin
+
+	// Geometric grid of candidate offsets δ = μ − xmax spanning from a
+	// small fraction of the spread to far beyond it.
+	const gridN = 60
+	loOff := spread * 1e-6
+	hiOff := spread * 1e4
+	ratio := math.Pow(hiOff/loOff, 1/float64(gridN-1))
+	type pt struct {
+		off float64
+		ll  float64
+	}
+	grid := make([]pt, 0, gridN)
+	off := loOff
+	for i := 0; i < gridN; i++ {
+		ll, _, ok := profileLogLik(xs, xmax+off, alphaMin)
+		if ok {
+			grid = append(grid, pt{off: off, ll: ll})
+		}
+		off *= ratio
+	}
+	if len(grid) < 3 {
+		return FitResult{}, ErrNoInteriorMax
+	}
+	best := 0
+	for i, p := range grid {
+		if p.ll > grid[best].ll {
+			best = i
+		}
+	}
+	if best == 0 || best == len(grid)-1 {
+		// No interior bracket: the likelihood is monotone over the
+		// searched range (μ→xmax means α<~1 data; μ→∞ means Gumbel-ish).
+		return FitResult{}, ErrNoInteriorMax
+	}
+
+	// Golden-section refine on log-offset between the bracket neighbours.
+	lo := math.Log(grid[best-1].off)
+	hi := math.Log(grid[best+1].off)
+	neg := func(t float64) float64 {
+		ll, _, ok := profileLogLik(xs, xmax+math.Exp(t), alphaMin)
+		if !ok {
+			return math.Inf(1)
+		}
+		return -ll
+	}
+	tOpt := stats.GoldenSection(neg, lo, hi, 1e-10)
+	ll, d, ok := profileLogLik(xs, xmax+math.Exp(tOpt), alphaMin)
+	if !ok || !d.Valid() {
+		return FitResult{}, ErrNoInteriorMax
+	}
+	return FitResult{Dist: d, LogLik: ll, AlphaBelow2: d.Alpha <= 2}, nil
+}
+
+// FitLSQ fits by least squares between the model CDF and the empirical
+// plotting positions pᵢ = i/(n+1) of the sorted sample — the unstable
+// curve-fitting alternative the paper's §3.1 discusses (and Figure 1
+// uses). Optimization is Nelder–Mead over (log α, log β, log(μ−max x)).
+func FitLSQ(xs []float64) (FitResult, error) {
+	if len(xs) < 3 {
+		return FitResult{}, ErrDegenerate
+	}
+	sorted := stats.NewECDF(xs).Sorted()
+	xmax := sorted[len(sorted)-1]
+	xmin := sorted[0]
+	if xmax == xmin {
+		return FitResult{}, ErrDegenerate
+	}
+	n := float64(len(sorted))
+	spread := xmax - xmin
+
+	sse := func(theta []float64) float64 {
+		d := Dist{
+			Alpha: math.Exp(theta[0]),
+			Beta:  math.Exp(theta[1]),
+			Mu:    xmax + math.Exp(theta[2]),
+		}
+		if !d.Valid() {
+			return math.Inf(1)
+		}
+		var s float64
+		for i, x := range sorted {
+			p := float64(i+1) / (n + 1)
+			e := d.CDF(x) - p
+			s += e * e
+		}
+		return s
+	}
+	// Moment-flavoured start: α ≈ 2, β scaled so that the spread maps to
+	// roughly unit exponent, μ slightly above the sample max.
+	start := []float64{
+		math.Log(2),
+		-2 * math.Log(spread),
+		math.Log(spread * 0.1),
+	}
+	theta, val := stats.NelderMead(sse, start, 0.5, 1e-14, 4000)
+	d := Dist{Alpha: math.Exp(theta[0]), Beta: math.Exp(theta[1]), Mu: xmax + math.Exp(theta[2])}
+	if !d.Valid() || math.IsInf(val, 1) {
+		return FitResult{}, ErrNoInteriorMax
+	}
+	return FitResult{Dist: d, LogLik: d.LogLikelihood(xs), AlphaBelow2: d.Alpha <= 2}, nil
+}
+
+// KSAgainst returns the Kolmogorov–Smirnov distance between the sample and
+// the fitted distribution (a goodness-of-fit diagnostic for Figure 1).
+func (d Dist) KSAgainst(xs []float64) float64 {
+	return stats.KSStatistic(xs, d.CDF)
+}

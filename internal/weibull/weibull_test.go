@@ -1,0 +1,373 @@
+package weibull
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestCDFBasics(t *testing.T) {
+	d := Dist{Alpha: 3, Beta: 2, Mu: 10}
+	if got := d.CDF(10); got != 1 {
+		t.Errorf("CDF(mu) = %v", got)
+	}
+	if got := d.CDF(11); got != 1 {
+		t.Errorf("CDF(>mu) = %v", got)
+	}
+	// G(9) = exp(−2·1³) = e⁻².
+	if got := d.CDF(9); !almostEqual(got, math.Exp(-2), 1e-14) {
+		t.Errorf("CDF(9) = %v", got)
+	}
+	// Monotone non-decreasing.
+	prev := 0.0
+	for x := -5.0; x <= 12; x += 0.1 {
+		v := d.CDF(x)
+		if v < prev-1e-15 {
+			t.Fatalf("CDF not monotone at %v", x)
+		}
+		prev = v
+	}
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	d := Dist{Alpha: 2.5, Beta: 1.3, Mu: 4}
+	const steps = 200000
+	lo, hi := d.Mu-20.0, d.Mu
+	h := (hi - lo) / steps
+	sum := (d.PDF(lo) + d.PDF(hi)) / 2
+	for i := 1; i < steps; i++ {
+		sum += d.PDF(lo + float64(i)*h)
+	}
+	if integral := sum * h; !almostEqual(integral, 1, 1e-5) {
+		t.Errorf("∫pdf = %v", integral)
+	}
+	if d.PDF(d.Mu+1) != 0 {
+		t.Error("PDF beyond mu must be 0")
+	}
+}
+
+func TestQuantileRoundTrip(t *testing.T) {
+	d := Dist{Alpha: 4, Beta: 0.7, Mu: 2}
+	if err := quick.Check(func(raw uint32) bool {
+		q := float64(raw%999998+1) / 1e6
+		x := d.Quantile(q)
+		return almostEqual(d.CDF(x), q, 1e-10)
+	}, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+	if d.Quantile(1) != d.Mu {
+		t.Error("Quantile(1) != mu")
+	}
+	if !math.IsInf(d.Quantile(0), -1) {
+		t.Error("Quantile(0) != -Inf")
+	}
+}
+
+func TestUpperQuantilePrecision(t *testing.T) {
+	d := Dist{Alpha: 3, Beta: 5, Mu: 100}
+	// For tiny p, UpperQuantile(p) must equal Quantile(1−p) to high
+	// precision and be strictly below mu.
+	for _, p := range []float64{1e-3, 1e-5, 1.0 / 160000} {
+		uq := d.UpperQuantile(p)
+		q := d.Quantile(1 - p)
+		if !almostEqual(uq, q, 1e-9) {
+			t.Errorf("p=%v: upper %v vs quantile %v", p, uq, q)
+		}
+		if uq >= d.Mu {
+			t.Errorf("UpperQuantile(%v) not below mu", p)
+		}
+	}
+	if d.UpperQuantile(0) != d.Mu {
+		t.Error("UpperQuantile(0) != mu")
+	}
+}
+
+func TestRandMatchesCDF(t *testing.T) {
+	d := Dist{Alpha: 3.2, Beta: 2, Mu: 7}
+	rng := stats.NewRNG(17)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = d.Rand(rng)
+		if xs[i] > d.Mu {
+			t.Fatal("variate beyond right endpoint")
+		}
+	}
+	dks := stats.KSStatistic(xs, d.CDF)
+	if p := stats.KSPValue(dks, len(xs)); p < 0.001 {
+		t.Errorf("KS rejects sampler: D=%v p=%v", dks, p)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	d := Dist{Alpha: 2.5, Beta: 1.5, Mu: 3}
+	rng := stats.NewRNG(23)
+	const n = 400000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		x := d.Rand(rng)
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if !almostEqual(mean, d.Mean(), 2e-3) {
+		t.Errorf("empirical mean %v vs analytic %v", mean, d.Mean())
+	}
+	if math.Abs(variance-d.Variance()) > 0.01*d.Variance()+1e-4 {
+		t.Errorf("empirical var %v vs analytic %v", variance, d.Variance())
+	}
+}
+
+func TestFitMLERecoversParameters(t *testing.T) {
+	// Generate from a known reverse Weibull with α > 2 and verify the MLE
+	// recovers all three parameters.
+	truth := Dist{Alpha: 4, Beta: 1, Mu: 10}
+	rng := stats.NewRNG(31)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = truth.Rand(rng)
+	}
+	fit, err := FitMLE(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mu-truth.Mu) > 0.15 {
+		t.Errorf("mu = %v, want ≈ %v", fit.Mu, truth.Mu)
+	}
+	if math.Abs(fit.Alpha-truth.Alpha) > 0.5 {
+		t.Errorf("alpha = %v, want ≈ %v", fit.Alpha, truth.Alpha)
+	}
+	if fit.Beta <= 0 || math.Abs(math.Log(fit.Beta/truth.Beta)) > 0.5 {
+		t.Errorf("beta = %v, want ≈ %v", fit.Beta, truth.Beta)
+	}
+	if fit.AlphaBelow2 {
+		t.Error("alpha>2 fit flagged as below 2")
+	}
+}
+
+func TestFitMLESmallSample(t *testing.T) {
+	// m = 10 samples (the paper's setting): fit must succeed and land in
+	// the right neighbourhood most of the time.
+	truth := Dist{Alpha: 5, Beta: 2, Mu: 1}
+	rng := stats.NewRNG(37)
+	okCount, closeCount := 0, 0
+	const trials = 100
+	for tr := 0; tr < trials; tr++ {
+		xs := make([]float64, 10)
+		for i := range xs {
+			xs[i] = truth.Rand(rng)
+		}
+		fit, err := FitMLE(xs)
+		if err != nil {
+			continue
+		}
+		okCount++
+		// Scale of the distribution is β^{−1/α} ≈ 0.87; the sample max of
+		// ten draws sits ≈ 0.55 below μ, so "close" means within one scale.
+		if math.Abs(fit.Mu-truth.Mu) < 0.9 {
+			closeCount++
+		}
+	}
+	if okCount < trials*6/10 {
+		t.Errorf("MLE succeeded only %d/%d times", okCount, trials)
+	}
+	if closeCount < okCount*6/10 {
+		t.Errorf("only %d/%d fits near the true endpoint", closeCount, okCount)
+	}
+}
+
+func TestFitMLEMuAboveSampleMax(t *testing.T) {
+	// Non-regularity: the estimate must satisfy μ̂ > max(x) strictly.
+	truth := Dist{Alpha: 3, Beta: 1, Mu: 0}
+	rng := stats.NewRNG(41)
+	for tr := 0; tr < 20; tr++ {
+		xs := make([]float64, 50)
+		xmax := math.Inf(-1)
+		for i := range xs {
+			xs[i] = truth.Rand(rng)
+			if xs[i] > xmax {
+				xmax = xs[i]
+			}
+		}
+		fit, err := FitMLE(xs)
+		if err != nil {
+			continue
+		}
+		if fit.Mu <= xmax {
+			t.Fatalf("mu %v not above sample max %v", fit.Mu, xmax)
+		}
+	}
+}
+
+func TestFitMLEDegenerate(t *testing.T) {
+	if _, err := FitMLE([]float64{1, 2}); err != ErrDegenerate {
+		t.Errorf("short sample: %v", err)
+	}
+	if _, err := FitMLE([]float64{3, 3, 3, 3}); err != ErrDegenerate {
+		t.Errorf("constant sample: %v", err)
+	}
+}
+
+func TestFitMLEGumbelDataNoInteriorMax(t *testing.T) {
+	// Exponential upper-tail data (unbounded) should usually fail to find
+	// an interior μ maximum rather than return nonsense.
+	rng := stats.NewRNG(43)
+	failures := 0
+	const trials = 20
+	for tr := 0; tr < trials; tr++ {
+		xs := make([]float64, 50)
+		for i := range xs {
+			// Gumbel variate: −log(−log U).
+			u := rng.Float64()
+			if u == 0 {
+				u = 0.5
+			}
+			xs[i] = -math.Log(-math.Log(u))
+		}
+		if _, err := FitMLE(xs); err != nil {
+			failures++
+		}
+	}
+	// Not all Gumbel samples fail (finite samples can look Weibull), but a
+	// meaningful fraction must be rejected rather than silently fitted.
+	if failures == 0 {
+		t.Log("warning: no Gumbel sample rejected; acceptable but unusual")
+	}
+}
+
+func TestFitLSQRecovers(t *testing.T) {
+	truth := Dist{Alpha: 3.5, Beta: 2, Mu: 5}
+	rng := stats.NewRNG(47)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = truth.Rand(rng)
+	}
+	fit, err := FitLSQ(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mu-truth.Mu) > 0.3 {
+		t.Errorf("LSQ mu = %v, want ≈ %v", fit.Mu, truth.Mu)
+	}
+	// The fitted CDF must track the ECDF closely.
+	if d := fit.KSAgainst(xs); d > 0.05 {
+		t.Errorf("LSQ fit KS distance = %v", d)
+	}
+}
+
+func TestFitLSQDegenerate(t *testing.T) {
+	if _, err := FitLSQ([]float64{1}); err != ErrDegenerate {
+		t.Error("short sample accepted")
+	}
+	if _, err := FitLSQ([]float64{2, 2, 2}); err != ErrDegenerate {
+		t.Error("constant sample accepted")
+	}
+}
+
+func TestMLEBeatsLSQInStability(t *testing.T) {
+	// The paper argues MLE is more robust than curve fitting for small m.
+	// Compare spread of μ̂ across repeated m=10 fits.
+	truth := Dist{Alpha: 5, Beta: 1, Mu: 0}
+	rng := stats.NewRNG(53)
+	var mleErr, lsqErr []float64
+	for tr := 0; tr < 60; tr++ {
+		xs := make([]float64, 10)
+		for i := range xs {
+			xs[i] = truth.Rand(rng)
+		}
+		if fit, err := FitMLE(xs); err == nil {
+			mleErr = append(mleErr, math.Abs(fit.Mu-truth.Mu))
+		}
+		if fit, err := FitLSQ(xs); err == nil {
+			lsqErr = append(lsqErr, math.Abs(fit.Mu-truth.Mu))
+		}
+	}
+	if len(mleErr) < 30 || len(lsqErr) < 30 {
+		t.Skipf("too few successful fits: mle %d lsq %d", len(mleErr), len(lsqErr))
+	}
+	// Use median absolute error for robustness.
+	med := func(v []float64) float64 { return stats.Summarize(v).Median }
+	if med(mleErr) > 3*med(lsqErr)+0.5 {
+		t.Errorf("MLE median error %v much worse than LSQ %v", med(mleErr), med(lsqErr))
+	}
+}
+
+func TestLogLikelihood(t *testing.T) {
+	d := Dist{Alpha: 3, Beta: 1, Mu: 1}
+	xs := []float64{0, 0.5, 0.9}
+	want := 0.0
+	for _, x := range xs {
+		want += math.Log(d.PDF(x))
+	}
+	if got := d.LogLikelihood(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("loglik = %v, want %v", got, want)
+	}
+	if !math.IsInf(d.LogLikelihood([]float64{2}), -1) {
+		t.Error("x beyond mu must give −Inf")
+	}
+}
+
+func TestValidAndString(t *testing.T) {
+	if !(Dist{Alpha: 1, Beta: 1, Mu: 0}).Valid() {
+		t.Error("valid dist rejected")
+	}
+	for _, d := range []Dist{
+		{Alpha: 0, Beta: 1, Mu: 0},
+		{Alpha: 1, Beta: -1, Mu: 0},
+		{Alpha: 1, Beta: 1, Mu: math.NaN()},
+		{Alpha: 1, Beta: 1, Mu: math.Inf(1)},
+	} {
+		if d.Valid() {
+			t.Errorf("invalid dist accepted: %v", d)
+		}
+	}
+	if s := (Dist{Alpha: 1, Beta: 2, Mu: 3}).String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestFitMLEUnbiasednessOfMu(t *testing.T) {
+	// Theorem 3/4: μ̂ is ASYMPTOTICALLY unbiased. At m = 300 the mean of
+	// many fits must sit within a small fraction of the scale; at m = 30
+	// the heavy right tail of the non-regular MLE allows mean bias, but
+	// the median must already be near the truth.
+	truth := Dist{Alpha: 4, Beta: 1, Mu: 10}
+	scale := math.Pow(truth.Beta, -1/truth.Alpha)
+	rng := stats.NewRNG(59)
+
+	fitMany := func(m, trials int) []float64 {
+		var est []float64
+		for tr := 0; tr < trials; tr++ {
+			xs := make([]float64, m)
+			for i := range xs {
+				xs[i] = truth.Rand(rng)
+			}
+			if fit, err := FitMLE(xs); err == nil {
+				est = append(est, fit.Mu)
+			}
+		}
+		return est
+	}
+
+	large := fitMany(300, 80)
+	if len(large) < 70 {
+		t.Fatalf("only %d successful m=300 fits", len(large))
+	}
+	if mean := stats.Mean(large); math.Abs(mean-truth.Mu) > 0.1*scale {
+		t.Errorf("m=300 mean μ̂ = %v, truth %v", mean, truth.Mu)
+	}
+
+	small := fitMany(30, 120)
+	if len(small) < 90 {
+		t.Fatalf("only %d successful m=30 fits", len(small))
+	}
+	if med := stats.Summarize(small).Median; math.Abs(med-truth.Mu) > 0.25*scale {
+		t.Errorf("m=30 median μ̂ = %v, truth %v", med, truth.Mu)
+	}
+}

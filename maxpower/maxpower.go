@@ -1,0 +1,241 @@
+// Package maxpower is the public entry point of the library: statistical
+// maximum-power estimation for combinational circuits using the limiting
+// distribution of extreme order statistics (Qiu, Wu & Pedram, DAC 1998).
+//
+// Typical use:
+//
+//	c, _ := maxpower.Circuit("C3540")
+//	pop, _ := maxpower.BuildPopulation(c, maxpower.PopulationSpec{
+//		Kind: maxpower.PopHighActivity, Size: 20000, Seed: 1,
+//	})
+//	res, _ := maxpower.Estimate(pop, maxpower.EstimateOptions{Seed: 2})
+//	fmt.Printf("max power ≈ %.3f mW ±%.1f%%\n", res.Estimate, 100*res.RelErr)
+//
+// The heavy lifting lives in the internal packages (netlist, sim, power,
+// vectorgen, weibull, evt); this package wires them together behind a
+// small, stable API.
+package maxpower
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+	"repro/internal/evt"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/vectorgen"
+)
+
+// Result is the estimator outcome; see the fields of evt.Result.
+type Result = evt.Result
+
+// Population is a finite vector-pair population with simulated powers.
+type Population = vectorgen.Population
+
+// CircuitNames returns the names of the built-in benchmark circuits (the
+// synthetic ISCAS-85 equivalents from the paper's evaluation).
+func CircuitNames() []string { return bench.Names() }
+
+// Circuit returns the named built-in benchmark circuit.
+func Circuit(name string) (*netlist.Circuit, error) { return bench.Generate(name) }
+
+// LoadBench parses a circuit in ISCAS-85 .bench format.
+func LoadBench(name string, r io.Reader) (*netlist.Circuit, error) {
+	return netlist.ParseBench(name, r)
+}
+
+// LoadBenchFile parses a .bench file from disk.
+func LoadBenchFile(path string) (*netlist.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("maxpower: %w", err)
+	}
+	defer f.Close()
+	return netlist.ParseBench(path, f)
+}
+
+// Population kinds for PopulationSpec.Kind.
+const (
+	// PopUniform draws both vectors uniformly (transition prob 1/2 per
+	// input) — Category I.1 via pure random vector generation.
+	PopUniform = "uniform"
+	// PopHighActivity draws per-pair activity uniformly from
+	// [MinActivity, 1] — the paper's unconstrained populations.
+	PopHighActivity = "high-activity"
+	// PopConstrained flips every input with probability Activity —
+	// Category I.2 with a uniform transition-probability specification.
+	PopConstrained = "constrained"
+)
+
+// PopulationSpec describes how to build a finite population.
+type PopulationSpec struct {
+	// Kind is one of PopUniform, PopHighActivity, PopConstrained.
+	Kind string
+	// Size is |V|; the paper uses 160,000 (unconstrained) / 80,000
+	// (constrained). Defaults to 20,000.
+	Size int
+	// Activity: for PopConstrained, the per-input transition probability;
+	// for PopHighActivity, the lower activity bound (default 0.3).
+	Activity float64
+	// Skew is the PopHighActivity mixture exponent (0 = library default).
+	Skew float64
+	// Probs optionally gives per-input transition probabilities for
+	// PopConstrained, overriding Activity.
+	Probs []float64
+	// DelayModel is zero|unit|fanout|table (default fanout).
+	DelayModel string
+	// Power overrides the electrical constants (zero value = defaults).
+	Power power.Params
+	// Seed makes the population reproducible.
+	Seed uint64
+	// Workers bounds parallel simulation (0 = NumCPU).
+	Workers int
+	// KeepPairs retains the raw vectors (needed to inspect or replay the
+	// worst-case pair; costs memory).
+	KeepPairs bool
+}
+
+// BuildPopulation simulates a finite population of vector pairs on the
+// circuit and returns it ready for estimation.
+func BuildPopulation(c *netlist.Circuit, spec PopulationSpec) (*Population, error) {
+	if spec.Size == 0 {
+		spec.Size = 20000
+	}
+	if spec.DelayModel == "" {
+		spec.DelayModel = "fanout"
+	}
+	model, err := delay.ByName(spec.DelayModel)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := generatorFor(c.NumInputs(), spec)
+	if err != nil {
+		return nil, err
+	}
+	eval := power.NewEvaluator(c, model, spec.Power)
+	return vectorgen.Build(eval, gen, vectorgen.Options{
+		Size:      spec.Size,
+		Seed:      spec.Seed,
+		Workers:   spec.Workers,
+		KeepPairs: spec.KeepPairs,
+	})
+}
+
+func generatorFor(inputs int, spec PopulationSpec) (vectorgen.Generator, error) {
+	switch spec.Kind {
+	case PopUniform:
+		return vectorgen.Uniform{N: inputs}, nil
+	case PopHighActivity, "":
+		min := spec.Activity
+		if min == 0 {
+			min = 0.3
+		}
+		return vectorgen.HighActivity{N: inputs, MinActivity: min, Skew: spec.Skew}, nil
+	case PopConstrained:
+		if spec.Probs != nil {
+			if len(spec.Probs) != inputs {
+				return nil, fmt.Errorf("maxpower: %d probabilities for %d inputs", len(spec.Probs), inputs)
+			}
+			return vectorgen.Constrained{Probs: spec.Probs}, nil
+		}
+		if spec.Activity <= 0 || spec.Activity > 1 {
+			return nil, fmt.Errorf("maxpower: constrained population needs Activity in (0,1], got %v", spec.Activity)
+		}
+		return vectorgen.ConstantActivity(inputs, spec.Activity), nil
+	}
+	return nil, fmt.Errorf("maxpower: unknown population kind %q", spec.Kind)
+}
+
+// EstimateOptions configures an estimation run. Zero fields take the
+// paper's defaults: n = 30, m = 10, ε = 5%, confidence = 90%.
+type EstimateOptions struct {
+	// SampleSize is n.
+	SampleSize int
+	// SamplesPerHyper is m.
+	SamplesPerHyper int
+	// Epsilon is the target relative error.
+	Epsilon float64
+	// Confidence is the CI level.
+	Confidence float64
+	// Seed drives the sampling.
+	Seed uint64
+	// MaxHyperSamples caps iteration (default 200).
+	MaxHyperSamples int
+	// DisableFiniteCorrection turns off the §3.4 correction (ablation).
+	DisableFiniteCorrection bool
+}
+
+// Estimate runs the EVT maximum-power estimator against a population.
+func Estimate(pop *Population, opt EstimateOptions) (Result, error) {
+	est, err := evt.New(pop, evt.Config{
+		SampleSize:              opt.SampleSize,
+		SamplesPerHyper:         opt.SamplesPerHyper,
+		Epsilon:                 opt.Epsilon,
+		Confidence:              opt.Confidence,
+		MaxHyperSamples:         opt.MaxHyperSamples,
+		DisableFiniteCorrection: opt.DisableFiniteCorrection,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return est.Run(stats.NewRNG(opt.Seed)), nil
+}
+
+// EstimateStreaming runs the estimator against on-demand simulation: no
+// population is precomputed, every sampled vector pair costs one
+// simulation, and Result.Units is the true simulation count. This is the
+// flow for real designs where no ground truth exists. When spec.Size > 0
+// the §3.4 finite-population correction targets that nominal |V|;
+// spec.Size = 0 estimates the infinite-population maximum (raw μ̂).
+func EstimateStreaming(c *netlist.Circuit, spec PopulationSpec, opt EstimateOptions) (Result, error) {
+	if spec.DelayModel == "" {
+		spec.DelayModel = "fanout"
+	}
+	model, err := delay.ByName(spec.DelayModel)
+	if err != nil {
+		return Result{}, err
+	}
+	gen, err := generatorFor(c.NumInputs(), spec)
+	if err != nil {
+		return Result{}, err
+	}
+	src, err := vectorgen.NewStreamSource(power.NewEvaluator(c, model, spec.Power), gen)
+	if err != nil {
+		return Result{}, err
+	}
+	src.DeclaredSize = spec.Size
+	est, err := evt.New(src, evt.Config{
+		SampleSize:              opt.SampleSize,
+		SamplesPerHyper:         opt.SamplesPerHyper,
+		Epsilon:                 opt.Epsilon,
+		Confidence:              opt.Confidence,
+		MaxHyperSamples:         opt.MaxHyperSamples,
+		DisableFiniteCorrection: opt.DisableFiniteCorrection,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return est.Run(stats.NewRNG(opt.Seed)), nil
+}
+
+// EstimateCircuit is the one-shot convenience: build the named circuit's
+// population and estimate its maximum power.
+func EstimateCircuit(circuit string, spec PopulationSpec, opt EstimateOptions) (Result, *Population, error) {
+	c, err := Circuit(circuit)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	pop, err := BuildPopulation(c, spec)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res, err := Estimate(pop, opt)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return res, pop, nil
+}
