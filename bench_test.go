@@ -7,9 +7,15 @@ package repro
 // cmd/experiments runs the full-scale versions.
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/service"
 )
 
 // benchRunner builds a Runner with a small cached population. The
@@ -166,6 +172,86 @@ func BenchmarkAblationMLEvsLSQ(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// serviceRoundTrip submits one job over HTTP and polls until terminal;
+// it is the service-level unit of work for BenchmarkServiceJobSubmit.
+func serviceRoundTrip(b *testing.B, url string, req service.JobRequest) {
+	b.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b.Fatalf("submit status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		r, err := http.Get(url + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st service.JobStatus
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		r.Body.Close()
+		if st.State.Terminal() {
+			if st.State != service.StateDone {
+				b.Fatalf("job %s: %s (%s)", sub.ID, st.State, st.Error)
+			}
+			return
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	b.Fatalf("job %s did not finish", sub.ID)
+}
+
+// BenchmarkServiceJobSubmit measures the in-process HTTP round trip of
+// one estimation job on a tiny circuit — the baseline for later
+// caching/sharding PRs. "cold" forces a population-cache miss per
+// iteration (fresh population seed); "warm" reuses one cached
+// population for every iteration.
+func BenchmarkServiceJobSubmit(b *testing.B) {
+	newService := func() (*httptest.Server, *service.Manager) {
+		mgr := service.NewManager(service.ManagerConfig{Workers: 2, CacheSize: 4})
+		return httptest.NewServer(service.NewServer(mgr)), mgr
+	}
+	req := service.JobRequest{
+		Circuit:    "C432",
+		Population: service.PopulationSpec{Size: 20000, Seed: 1},
+		Options:    service.EstimateOptions{Seed: 2},
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		srv, _ := newService()
+		defer srv.Close()
+		for i := 0; i < b.N; i++ {
+			r := req
+			r.Population.Seed = uint64(i) + 10 // unique key → cache miss
+			serviceRoundTrip(b, srv.URL, r)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		srv, _ := newService()
+		defer srv.Close()
+		serviceRoundTrip(b, srv.URL, req) // populate the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serviceRoundTrip(b, srv.URL, req)
+		}
+	})
 }
 
 func BenchmarkAblationDelayModel(b *testing.B) {

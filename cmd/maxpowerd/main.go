@@ -1,0 +1,79 @@
+// Command maxpowerd serves maximum-power estimation over HTTP: jobs go
+// in as JSON (POST /v1/jobs), run asynchronously on a bounded worker
+// pool, and report progress (GET /v1/jobs/{id}) and final results
+// (GET /v1/jobs/{id}/result). Parsed circuits and built populations are
+// reused across jobs through an LRU cache; process counters are on
+// /debug/vars.
+//
+// Usage:
+//
+//	maxpowerd [-addr :8321] [-workers 4] [-queue 64] [-cache 16]
+//	          [-sim-workers 0] [-drain 30s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8321", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent estimation jobs (0 = NumCPU capped at 8)")
+		queue      = flag.Int("queue", 64, "max queued jobs before 503")
+		cacheSize  = flag.Int("cache", 16, "population LRU capacity (entries)")
+		simWorkers = flag.Int("sim-workers", 0, "per-job simulation parallelism (0 = NumCPU)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for running jobs")
+	)
+	flag.Parse()
+
+	mgr := service.NewManager(service.ManagerConfig{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+		SimWorkers: *simWorkers,
+	})
+	mgr.OnProgress = func(id string, p service.Progress) {
+		log.Printf("%s: k=%d estimate=%.3f mW relerr=%.4f units=%d",
+			id, p.HyperSamples, p.Estimate, p.RelErr, p.Units)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(mgr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("maxpowerd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: draining jobs (budget %s)…", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := mgr.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("job drain incomplete: %v (running jobs were cancelled)", err)
+	}
+	log.Printf("bye")
+}

@@ -45,6 +45,43 @@ func (f InfiniteSource) SamplePower(rng *stats.RNG) float64 { return f(rng) }
 // Size implements Source.
 func (InfiniteSource) Size() int { return 0 }
 
+// Progress is a point-in-time snapshot of a running estimation,
+// published after every completed hyper-sample. It carries the running
+// state of Figure 4's loop: how many hyper-samples have been folded in,
+// the current mean estimate, the Student-t interval, and the simulation
+// cost so far. After the first hyper-sample (k = 1) no deviation exists
+// yet, so CILow/CIHigh are unbounded and RelErr is +Inf.
+type Progress struct {
+	// HyperSamples is k, the number of completed hyper-samples.
+	HyperSamples int
+	// Estimate is the running P̄_MAX (mean of hyper-sample estimates).
+	Estimate float64
+	// CILow/CIHigh bound the maximum at the configured confidence.
+	CILow, CIHigh float64
+	// RelErr is the current CI half-width over the estimate.
+	RelErr float64
+	// Units is the total simulated units so far.
+	Units int
+	// Converged reports whether the stopping rule has been satisfied.
+	Converged bool
+}
+
+// Observer receives Progress snapshots from a running estimation. It is
+// the estimator's observation seam: callers (a progress bar, a serving
+// daemon, a metrics exporter) subscribe without perturbing the sampling
+// stream — the observer is invoked synchronously between hyper-samples
+// and consumes no randomness, so a run with an observer produces
+// bit-identical results to one without.
+type Observer interface {
+	HyperSampleDone(Progress)
+}
+
+// ObserverFunc adapts a plain function as an Observer.
+type ObserverFunc func(Progress)
+
+// HyperSampleDone implements Observer.
+func (f ObserverFunc) HyperSampleDone(p Progress) { f(p) }
+
 // Config parameterizes the estimator. The zero value is replaced by the
 // paper's settings via Defaults.
 type Config struct {
@@ -70,6 +107,10 @@ type Config struct {
 	// DisableFiniteCorrection turns off the §3.4 finite-population
 	// quantile correction even when the source is finite (for ablation).
 	DisableFiniteCorrection bool
+	// Observer, when non-nil, receives a Progress snapshot after every
+	// hyper-sample. Invoked synchronously; a slow observer slows the run
+	// but never changes its result.
+	Observer Observer
 }
 
 // Defaults fills unset fields with the paper's values.
@@ -289,6 +330,16 @@ func (e *Estimator) RunContext(ctx context.Context, rng *stats.RNG) Result {
 		}
 		estimates = append(estimates, hs.Estimate)
 		if k < 2 {
+			if cfg.Observer != nil {
+				cfg.Observer.HyperSampleDone(Progress{
+					HyperSamples: 1,
+					Estimate:     estimates[0],
+					CILow:        math.Inf(-1),
+					CIHigh:       math.Inf(1),
+					RelErr:       math.Inf(1),
+					Units:        res.Units,
+				})
+			}
 			continue
 		}
 		mean, sd := stats.MeanStd(estimates)
@@ -307,6 +358,19 @@ func (e *Estimator) RunContext(ctx context.Context, rng *stats.RNG) Result {
 		res.HyperSamples = k
 		if res.RelErr <= cfg.Epsilon {
 			res.Converged = true
+		}
+		if cfg.Observer != nil {
+			cfg.Observer.HyperSampleDone(Progress{
+				HyperSamples: k,
+				Estimate:     res.Estimate,
+				CILow:        res.CILow,
+				CIHigh:       res.CIHigh,
+				RelErr:       res.RelErr,
+				Units:        res.Units,
+				Converged:    res.Converged,
+			})
+		}
+		if res.Converged {
 			return res
 		}
 	}

@@ -1,0 +1,206 @@
+// Package service implements maxpowerd's estimation service: a
+// JSON-over-HTTP API (stdlib net/http only) that runs maximum-power
+// estimation jobs asynchronously on a bounded worker pool, reports
+// per-job progress from the estimator's observer seam, and reuses
+// parsed circuits and built populations through an LRU cache.
+package service
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/maxpower"
+)
+
+// finite maps NaN/±Inf to 0 for JSON transport (encoding/json rejects
+// non-finite floats; the k = 1 snapshot legitimately has an unbounded
+// interval). A zero CI bound alongside hyper_samples = 1 reads as "no
+// interval yet".
+func finite(x float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return 0
+	}
+	return x
+}
+
+// PopulationSpec is the wire form of maxpower.PopulationSpec (electrical
+// constants stay at library defaults; per-job overrides are a later PR).
+type PopulationSpec struct {
+	Kind       string    `json:"kind,omitempty"`
+	Size       int       `json:"size,omitempty"`
+	Activity   float64   `json:"activity,omitempty"`
+	Skew       float64   `json:"skew,omitempty"`
+	Probs      []float64 `json:"probs,omitempty"`
+	DelayModel string    `json:"delay_model,omitempty"`
+	Seed       uint64    `json:"seed,omitempty"`
+}
+
+func (s PopulationSpec) toLib(workers int) maxpower.PopulationSpec {
+	return maxpower.PopulationSpec{
+		Kind:       s.Kind,
+		Size:       s.Size,
+		Activity:   s.Activity,
+		Skew:       s.Skew,
+		Probs:      s.Probs,
+		DelayModel: s.DelayModel,
+		Seed:       s.Seed,
+		Workers:    workers,
+	}
+}
+
+// EstimateOptions is the wire form of maxpower.EstimateOptions.
+type EstimateOptions struct {
+	SampleSize              int     `json:"sample_size,omitempty"`
+	SamplesPerHyper         int     `json:"samples_per_hyper,omitempty"`
+	Epsilon                 float64 `json:"epsilon,omitempty"`
+	Confidence              float64 `json:"confidence,omitempty"`
+	Seed                    uint64  `json:"seed,omitempty"`
+	MaxHyperSamples         int     `json:"max_hyper_samples,omitempty"`
+	DisableFiniteCorrection bool    `json:"disable_finite_correction,omitempty"`
+}
+
+func (o EstimateOptions) toLib() maxpower.EstimateOptions {
+	return maxpower.EstimateOptions{
+		SampleSize:              o.SampleSize,
+		SamplesPerHyper:         o.SamplesPerHyper,
+		Epsilon:                 o.Epsilon,
+		Confidence:              o.Confidence,
+		Seed:                    o.Seed,
+		MaxHyperSamples:         o.MaxHyperSamples,
+		DisableFiniteCorrection: o.DisableFiniteCorrection,
+	}
+}
+
+// JobRequest is the POST /v1/jobs body. Exactly one of Circuit (a
+// built-in benchmark name) or Bench (a raw ISCAS-85 .bench netlist)
+// selects the circuit. Streaming selects on-demand simulation (every
+// sampled pair costs one simulation, nothing is cached); the default
+// precomputed-population mode builds — or reuses from cache — the full
+// finite population first.
+type JobRequest struct {
+	Circuit    string          `json:"circuit,omitempty"`
+	Bench      string          `json:"bench,omitempty"`
+	Population PopulationSpec  `json:"population"`
+	Options    EstimateOptions `json:"options"`
+	Streaming  bool            `json:"streaming,omitempty"`
+}
+
+// Validate performs the request checks that need no circuit: exactly
+// one circuit source, and library-level spec/option validation, so bad
+// jobs fail at submission with a 400 instead of queue-then-fail.
+func (r JobRequest) Validate(known func(string) bool) error {
+	if r.Circuit == "" && r.Bench == "" {
+		return fmt.Errorf("one of circuit or bench is required")
+	}
+	if r.Circuit != "" && r.Bench != "" {
+		return fmt.Errorf("circuit and bench are mutually exclusive")
+	}
+	if r.Circuit != "" && known != nil && !known(r.Circuit) {
+		return fmt.Errorf("unknown circuit %q (GET /v1/circuits lists the built-ins)", r.Circuit)
+	}
+	if err := r.Population.toLib(0).Validate(); err != nil {
+		return err
+	}
+	return r.Options.toLib().Validate()
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle: Queued → Running → Done | Failed | Cancelled. A queued
+// job can go straight to Cancelled.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Progress is the wire form of the estimator's running snapshot.
+type Progress struct {
+	HyperSamples int     `json:"hyper_samples"`
+	Estimate     float64 `json:"estimate_mw"`
+	CILow        float64 `json:"ci_low_mw"`
+	CIHigh       float64 `json:"ci_high_mw"`
+	HalfWidth    float64 `json:"ci_half_width_mw"`
+	RelErr       float64 `json:"rel_err"`
+	Units        int     `json:"units_simulated"`
+	Converged    bool    `json:"converged"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	ID        string     `json:"id"`
+	State     JobState   `json:"state"`
+	Circuit   string     `json:"circuit"`
+	Streaming bool       `json:"streaming"`
+	CacheHit  bool       `json:"cache_hit"`
+	Created   time.Time  `json:"created"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// DurationMS is wall time from start to finish (or to now while
+	// running); 0 while queued.
+	DurationMS float64   `json:"duration_ms"`
+	Progress   *Progress `json:"progress,omitempty"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// JobResult is the GET /v1/jobs/{id}/result body: the final
+// evt.Result (minus the per-hyper-sample trace, which stays server
+// side) plus identification.
+type JobResult struct {
+	ID           string   `json:"id"`
+	Circuit      string   `json:"circuit"`
+	Estimate     float64  `json:"estimate_mw"`
+	CILow        float64  `json:"ci_low_mw"`
+	CIHigh       float64  `json:"ci_high_mw"`
+	RelErr       float64  `json:"rel_err"`
+	HyperSamples int      `json:"hyper_samples"`
+	Units        int      `json:"units_simulated"`
+	Converged    bool     `json:"converged"`
+	ObservedMax  float64  `json:"observed_max_mw"`
+	SigmaSq      float64  `json:"sigma_sq"`
+	CacheHit     bool     `json:"cache_hit"`
+	State        JobState `json:"state"`
+}
+
+// CircuitInfo is one row of GET /v1/circuits.
+type CircuitInfo struct {
+	Name    string `json:"name"`
+	Inputs  int    `json:"inputs"`
+	Outputs int    `json:"outputs"`
+	Gates   int    `json:"gates"`
+	Depth   int    `json:"depth"`
+}
+
+// Stats is the GET /v1/stats body: per-instance counters (the same
+// numbers are mirrored process-wide on /debug/vars via expvar).
+type Stats struct {
+	JobsSubmitted   int64 `json:"jobs_submitted"`
+	JobsCompleted   int64 `json:"jobs_completed"`
+	JobsFailed      int64 `json:"jobs_failed"`
+	JobsCancelled   int64 `json:"jobs_cancelled"`
+	CacheHits       int64 `json:"population_cache_hits"`
+	CacheMisses     int64 `json:"population_cache_misses"`
+	PairsSimulated  int64 `json:"pairs_simulated"`
+	WorkersBusy     int64 `json:"workers_busy"`
+	QueueDepth      int64 `json:"queue_depth"`
+	PopulationsHeld int64 `json:"populations_cached"`
+}
+
+// apiError is the structured error body: {"error":{"code":..,"message":..}}.
+type apiError struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"repro/maxpower"
+)
+
+// lru is a small mutex-guarded least-recently-used cache. The service
+// keeps two: parsed circuits (keyed on identity) and built populations
+// (keyed on identity + spec), so repeated jobs skip the expensive parse
+// and simulate phases entirely.
+type lru[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry[V]
+	items map[string]*list.Element
+
+	hits, misses int64
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](capacity int) *lru[V] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &lru[V]{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached value and promotes it to most-recent.
+func (c *lru[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// add inserts (or refreshes) a value, evicting the least-recent entry
+// when over capacity.
+func (c *lru[V]) add(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry[V]{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lru[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// stats returns cumulative (hits, misses).
+func (c *lru[V]) stats() (int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// circuitKey identifies a circuit for caching: built-in circuits by
+// name, uploaded .bench bodies by content hash (so the same netlist
+// re-uploaded under any name shares cache entries).
+func circuitKey(builtin, benchBody string) string {
+	if benchBody == "" {
+		return "builtin:" + builtin
+	}
+	h := fnv.New64a()
+	h.Write([]byte(benchBody))
+	return fmt.Sprintf("bench:%016x", h.Sum64())
+}
+
+// populationKey identifies a built population: the circuit identity
+// plus every spec field that changes its contents. Workers and
+// KeepPairs are deliberately excluded — Build is deterministic in Seed
+// regardless of worker count, and the service never keeps pairs.
+func populationKey(ck string, spec maxpower.PopulationSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|kind=%s|size=%d|act=%v|skew=%v|delay=%s|seed=%d|pw=%v",
+		ck, spec.Kind, spec.Size, spec.Activity, spec.Skew, spec.DelayModel, spec.Seed, spec.Power)
+	if spec.Probs != nil {
+		fmt.Fprintf(&b, "|probs=%v", spec.Probs)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"testing"
+
+	"repro/maxpower"
+)
+
+func TestLRUEvictionAndPromotion(t *testing.T) {
+	c := newLRU[int](2)
+	c.add("a", 1)
+	c.add("b", 2)
+	if _, ok := c.get("a"); !ok { // promotes a over b
+		t.Fatal("a missing")
+	}
+	c.add("c", 3) // evicts b (least recent)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Errorf("a = %v/%v, want 1/true", v, ok)
+	}
+	if v, ok := c.get("c"); !ok || v != 3 {
+		t.Errorf("c = %v/%v, want 3/true", v, ok)
+	}
+	if n := c.len(); n != 2 {
+		t.Errorf("len = %d, want 2", n)
+	}
+	hits, misses := c.stats()
+	if hits != 3 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", hits, misses)
+	}
+}
+
+func TestLRURefreshDoesNotGrow(t *testing.T) {
+	c := newLRU[string](2)
+	c.add("k", "v1")
+	c.add("k", "v2")
+	if n := c.len(); n != 1 {
+		t.Fatalf("len = %d after refresh, want 1", n)
+	}
+	if v, _ := c.get("k"); v != "v2" {
+		t.Errorf("refreshed value = %q, want v2", v)
+	}
+}
+
+func TestCircuitKey(t *testing.T) {
+	if circuitKey("C432", "") != "builtin:C432" {
+		t.Error("builtin key mismatch")
+	}
+	b1 := circuitKey("", "INPUT(1)\nOUTPUT(1)\n")
+	b2 := circuitKey("", "INPUT(1)\nOUTPUT(1)\n")
+	b3 := circuitKey("", "INPUT(2)\nOUTPUT(2)\n")
+	if b1 != b2 {
+		t.Error("identical bench bodies must share a key")
+	}
+	if b1 == b3 {
+		t.Error("different bench bodies must not collide")
+	}
+	if b1 == circuitKey("C432", "") {
+		t.Error("bench and builtin keys must not collide")
+	}
+}
+
+func TestPopulationKeyDiscriminates(t *testing.T) {
+	base := maxpower.PopulationSpec{Kind: maxpower.PopHighActivity, Size: 1000, Seed: 1}
+	k0 := populationKey("builtin:C432", base)
+
+	variants := []maxpower.PopulationSpec{
+		{Kind: maxpower.PopUniform, Size: 1000, Seed: 1},
+		{Kind: maxpower.PopHighActivity, Size: 2000, Seed: 1},
+		{Kind: maxpower.PopHighActivity, Size: 1000, Seed: 2},
+		{Kind: maxpower.PopHighActivity, Size: 1000, Seed: 1, Activity: 0.5},
+		{Kind: maxpower.PopHighActivity, Size: 1000, Seed: 1, DelayModel: "zero"},
+		{Kind: maxpower.PopConstrained, Size: 1000, Seed: 1, Probs: []float64{0.5}},
+	}
+	for i, v := range variants {
+		if populationKey("builtin:C432", v) == k0 {
+			t.Errorf("variant %d collides with base key", i)
+		}
+	}
+	if populationKey("builtin:C880", base) == k0 {
+		t.Error("different circuits must not share population keys")
+	}
+
+	// Workers and KeepPairs do not change population contents: same key.
+	w := base
+	w.Workers = 7
+	w.KeepPairs = true
+	if populationKey("builtin:C432", w) != k0 {
+		t.Error("Workers/KeepPairs must not affect the cache key")
+	}
+}

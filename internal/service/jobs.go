@@ -1,0 +1,464 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netlist"
+	"repro/maxpower"
+)
+
+// Errors surfaced by Submit/Cancel, mapped to HTTP statuses in server.go.
+var (
+	ErrQueueFull    = errors.New("service: job queue is full")
+	ErrShuttingDown = errors.New("service: shutting down, not accepting jobs")
+	ErrNotFound     = errors.New("service: no such job")
+	ErrNotFinished  = errors.New("service: job has not finished")
+	ErrFinished     = errors.New("service: job already finished")
+)
+
+// ManagerConfig sizes the Manager. Zero fields take defaults.
+type ManagerConfig struct {
+	// Workers is the worker-pool size: how many jobs estimate
+	// concurrently. Default: NumCPU, capped at 8 (each population build
+	// already parallelizes internally).
+	Workers int
+	// QueueDepth bounds the backlog of accepted-but-not-started jobs;
+	// submissions beyond it are rejected with ErrQueueFull. Default 64.
+	QueueDepth int
+	// CacheSize is the population LRU capacity in entries. Default 16.
+	CacheSize int
+	// SimWorkers bounds the per-job parallelism of population builds
+	// (0 = NumCPU).
+	SimWorkers int
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 16
+	}
+	return c
+}
+
+// job is the server-side record of one estimation request.
+type job struct {
+	id        string
+	req       JobRequest
+	circuit   string // display name
+	state     JobState
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	cacheHit  bool
+	progress  *Progress
+	result    *maxpower.Result
+	errMsg    string
+	cancel    context.CancelFunc
+	cancelled bool // DELETE arrived (possibly before the worker picked it up)
+}
+
+// Manager owns the job table, the bounded work queue, the worker pool,
+// and the circuit/population caches. All exported methods are safe for
+// concurrent use.
+type Manager struct {
+	cfg ManagerConfig
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for listing
+	seq   int64
+
+	queue  chan *job
+	wg     sync.WaitGroup
+	closed bool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	circuits *lru[*netlist.Circuit]
+	pops     *lru[*maxpower.Population]
+
+	jobsSubmitted  atomic.Int64
+	jobsCompleted  atomic.Int64
+	jobsFailed     atomic.Int64
+	jobsCancelled  atomic.Int64
+	pairsSimulated atomic.Int64
+	workersBusy    atomic.Int64
+
+	// OnProgress, when non-nil, is invoked after each job progress
+	// update (job status already reflects the snapshot). It runs on the
+	// worker goroutine — the observation seam for logging and tests.
+	// Set it before the first Submit; it is read under the manager lock.
+	OnProgress func(jobID string, p Progress)
+}
+
+// NewManager builds a Manager and starts its worker pool.
+func NewManager(cfg ManagerConfig) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		jobs:       make(map[string]*job),
+		queue:      make(chan *job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		circuits:   newLRU[*netlist.Circuit](8),
+		pops:       newLRU[*maxpower.Population](cfg.CacheSize),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates nothing (the server already has) and enqueues the
+// job, returning its ID.
+func (m *Manager) Submit(req JobRequest) (string, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", ErrShuttingDown
+	}
+	m.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", m.seq),
+		req:     req,
+		circuit: displayName(req),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.mu.Unlock()
+	m.jobsSubmitted.Add(1)
+	expJobsSubmitted.Add(1)
+	return j.id, nil
+}
+
+func displayName(req JobRequest) string {
+	if req.Circuit != "" {
+		return req.Circuit
+	}
+	// First token of ".bench" comments is not reliable; report by hash.
+	return circuitKey("", req.Bench)
+}
+
+// Status returns the job's current status snapshot.
+func (m *Manager) Status(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return j.statusLocked(), nil
+}
+
+// List returns the status of every job in submission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].statusLocked())
+	}
+	return out
+}
+
+func (j *job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Circuit:   j.circuit,
+		Streaming: j.req.Streaming,
+		CacheHit:  j.cacheHit,
+		Created:   j.created,
+		Error:     j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+		switch {
+		case !j.finished.IsZero():
+			st.DurationMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		default:
+			st.DurationMS = float64(time.Since(j.started)) / float64(time.Millisecond)
+		}
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.progress != nil {
+		p := *j.progress
+		st.Progress = &p
+	}
+	return st
+}
+
+// Result returns the final result of a done job.
+func (m *Manager) Result(id string) (JobResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobResult{}, ErrNotFound
+	}
+	if j.result == nil {
+		if j.state.Terminal() {
+			return JobResult{}, fmt.Errorf("%w: job %s %s: %s", ErrNotFound, id, j.state, j.errMsg)
+		}
+		return JobResult{}, fmt.Errorf("%w: job %s is %s", ErrNotFinished, id, j.state)
+	}
+	r := j.result
+	return JobResult{
+		ID:           j.id,
+		Circuit:      j.circuit,
+		Estimate:     finite(r.Estimate),
+		CILow:        finite(r.CILow),
+		CIHigh:       finite(r.CIHigh),
+		RelErr:       finite(r.RelErr),
+		HyperSamples: r.HyperSamples,
+		Units:        r.Units,
+		Converged:    r.Converged,
+		ObservedMax:  finite(r.ObservedMax),
+		SigmaSq:      finite(r.SigmaSq),
+		CacheHit:     j.cacheHit,
+		State:        j.state,
+	}, nil
+}
+
+// Cancel stops a queued or running job. Queued jobs are marked
+// cancelled immediately (the worker skips them); running jobs have
+// their context cancelled and finish at the next hyper-sample boundary.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	switch {
+	case j.state.Terminal():
+		return fmt.Errorf("%w: job %s is already %s", ErrFinished, id, j.state)
+	case j.state == StateQueued:
+		j.cancelled = true
+		j.state = StateCancelled
+		j.finished = time.Now()
+		m.jobsCancelled.Add(1)
+		expJobsCancelled.Add(1)
+	default: // running
+		j.cancelled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return nil
+}
+
+// Stats returns this instance's counters.
+func (m *Manager) Stats() Stats {
+	hits, misses := m.pops.stats()
+	return Stats{
+		JobsSubmitted:   m.jobsSubmitted.Load(),
+		JobsCompleted:   m.jobsCompleted.Load(),
+		JobsFailed:      m.jobsFailed.Load(),
+		JobsCancelled:   m.jobsCancelled.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		PairsSimulated:  m.pairsSimulated.Load(),
+		WorkersBusy:     m.workersBusy.Load(),
+		QueueDepth:      int64(len(m.queue)),
+		PopulationsHeld: int64(m.pops.len()),
+	}
+}
+
+// Shutdown stops accepting jobs and drains the pool: queued and running
+// jobs keep going until done or until ctx expires, at which point the
+// still-running estimations are cancelled at their next hyper-sample
+// boundary and recorded as cancelled. Always returns after the pool has
+// fully stopped.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel() // force running jobs to stop at the next boundary
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker is the pool loop: pull, run, repeat until the queue closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// runJob executes one job end to end and records its outcome.
+func (m *Manager) runJob(j *job) {
+	m.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		m.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	m.mu.Unlock()
+
+	m.workersBusy.Add(1)
+	expWorkersBusy.Add(1)
+	defer func() {
+		m.workersBusy.Add(-1)
+		expWorkersBusy.Add(-1)
+	}()
+
+	res, cacheHit, err := m.execute(ctx, j)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.finished = time.Now()
+	j.cacheHit = cacheHit
+	switch {
+	case err == nil && ctx.Err() != nil:
+		// The estimator returned a partial result after cancellation
+		// (job-level DELETE or shutdown deadline).
+		j.state = StateCancelled
+		j.result = &res
+		j.errMsg = "cancelled before convergence"
+		m.jobsCancelled.Add(1)
+		expJobsCancelled.Add(1)
+	case err != nil:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		m.jobsFailed.Add(1)
+		expJobsFailed.Add(1)
+	default:
+		j.state = StateDone
+		j.result = &res
+		m.jobsCompleted.Add(1)
+		expJobsCompleted.Add(1)
+	}
+	if j.result != nil {
+		m.pairsSimulated.Add(int64(res.Units))
+		expPairsSimulated.Add(int64(res.Units))
+	}
+}
+
+// execute resolves the circuit, picks streaming vs. population mode,
+// and runs the estimator with the progress observer attached.
+func (m *Manager) execute(ctx context.Context, j *job) (maxpower.Result, bool, error) {
+	c, err := m.resolveCircuit(j.req)
+	if err != nil {
+		return maxpower.Result{}, false, err
+	}
+	spec := j.req.Population.toLib(m.cfg.SimWorkers)
+	opt := j.req.Options.toLib()
+	opt.Progress = func(p maxpower.ProgressSnapshot) { m.recordProgress(j, p) }
+
+	if j.req.Streaming {
+		res, err := maxpower.EstimateStreamingContext(ctx, c, spec, opt)
+		return res, false, err
+	}
+
+	ck := circuitKey(j.req.Circuit, j.req.Bench)
+	pk := populationKey(ck, spec)
+	pop, hit := m.pops.get(pk)
+	if hit {
+		expCacheHits.Add(1)
+	} else {
+		expCacheMisses.Add(1)
+		pop, err = maxpower.BuildPopulation(c, spec)
+		if err != nil {
+			return maxpower.Result{}, false, err
+		}
+		m.pairsSimulated.Add(int64(pop.Size()))
+		expPairsSimulated.Add(int64(pop.Size()))
+		m.pops.add(pk, pop)
+	}
+	res, err := maxpower.EstimateContext(ctx, pop, opt)
+	return res, hit, err
+}
+
+// resolveCircuit returns the job's circuit, reusing parsed/generated
+// instances through the circuit LRU.
+func (m *Manager) resolveCircuit(req JobRequest) (*netlist.Circuit, error) {
+	key := circuitKey(req.Circuit, req.Bench)
+	if c, ok := m.circuits.get(key); ok {
+		return c, nil
+	}
+	var (
+		c   *netlist.Circuit
+		err error
+	)
+	if req.Bench != "" {
+		c, err = maxpower.LoadBench(key, strings.NewReader(req.Bench))
+	} else {
+		c, err = maxpower.Circuit(req.Circuit)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.circuits.add(key, c)
+	return c, nil
+}
+
+// recordProgress stores the estimator snapshot on the job and fires the
+// OnProgress hook.
+func (m *Manager) recordProgress(j *job, p maxpower.ProgressSnapshot) {
+	snap := Progress{
+		HyperSamples: p.HyperSamples,
+		Estimate:     finite(p.Estimate),
+		CILow:        finite(p.CILow),
+		CIHigh:       finite(p.CIHigh),
+		HalfWidth:    finite((p.CIHigh - p.CILow) / 2),
+		RelErr:       finite(p.RelErr),
+		Units:        p.Units,
+		Converged:    p.Converged,
+	}
+	m.mu.Lock()
+	j.progress = &snap
+	hook := m.OnProgress
+	m.mu.Unlock()
+	if hook != nil {
+		hook(j.id, snap)
+	}
+}

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gateFirstProgress installs an OnProgress hook that pauses the first
+// observed job at its first hyper-sample until release is closed.
+func gateFirstProgress(mgr *Manager) (gate, release chan struct{}) {
+	gate = make(chan struct{})
+	release = make(chan struct{})
+	var once sync.Once
+	mgr.OnProgress = func(id string, p Progress) {
+		once.Do(func() {
+			close(gate)
+			<-release
+		})
+	}
+	return gate, release
+}
+
+func smallJob(seed uint64) JobRequest {
+	return JobRequest{
+		Circuit:    "C432",
+		Population: PopulationSpec{Size: 1000, Seed: seed},
+		Options:    EstimateOptions{Seed: seed},
+	}
+}
+
+// TestCancelRunning gates a job mid-run, cancels it over HTTP, and
+// expects a cancelled terminal state with a partial result preserved.
+func TestCancelRunning(t *testing.T) {
+	srv, mgr := newTestServer(t, ManagerConfig{Workers: 1})
+	gate, release := gateFirstProgress(mgr)
+
+	id := submitJob(t, srv, smallJob(21))
+	<-gate
+
+	if code, body := doJSON(t, http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil, nil); code != http.StatusAccepted {
+		t.Fatalf("cancel = %d, body %s", code, body)
+	}
+	close(release)
+
+	st := waitTerminal(t, srv, id)
+	if st.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", st.State)
+	}
+	// Cancelling again (or any terminal job) is a 409.
+	if code, _ := doJSON(t, http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil, nil); code != http.StatusConflict {
+		t.Errorf("double cancel = %d, want 409", code)
+	}
+}
+
+// TestCancelQueued cancels a job before any worker picks it up.
+func TestCancelQueued(t *testing.T) {
+	srv, mgr := newTestServer(t, ManagerConfig{Workers: 1})
+	gate, release := gateFirstProgress(mgr)
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+
+	blocker := submitJob(t, srv, smallJob(31))
+	<-gate // the single worker is now parked inside the blocker job
+
+	queued := submitJob(t, srv, smallJob(32))
+	if st := jobStatus(t, srv, queued); st.State != StateQueued {
+		t.Fatalf("second job state = %s, want queued", st.State)
+	}
+	if code, _ := doJSON(t, http.MethodDelete, srv.URL+"/v1/jobs/"+queued, nil, nil); code != http.StatusAccepted {
+		t.Fatalf("cancel queued job failed: %d", code)
+	}
+	if st := jobStatus(t, srv, queued); st.State != StateCancelled {
+		t.Fatalf("cancelled-queued state = %s, want cancelled", st.State)
+	}
+
+	close(release)
+	if st := waitTerminal(t, srv, blocker); st.State != StateDone {
+		t.Fatalf("blocker state = %s, want done", st.State)
+	}
+	// The worker must skip the cancelled job without flipping its state.
+	if st := jobStatus(t, srv, queued); st.State != StateCancelled {
+		t.Errorf("cancelled job re-ran: state = %s", st.State)
+	}
+}
+
+// TestQueueFull verifies the bounded queue rejects with 503.
+func TestQueueFull(t *testing.T) {
+	srv, mgr := newTestServer(t, ManagerConfig{Workers: 1, QueueDepth: 1})
+	gate, release := gateFirstProgress(mgr)
+	defer close(release)
+
+	submitJob(t, srv, smallJob(41)) // occupies the worker
+	<-gate
+	submitJob(t, srv, smallJob(42)) // fills the queue
+
+	var apiErr apiError
+	code, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", smallJob(43), &apiErr)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity submit = %d, body %s; want 503", code, body)
+	}
+	if apiErr.Error.Code != "queue_full" {
+		t.Errorf("error code = %q, want queue_full", apiErr.Error.Code)
+	}
+}
+
+// TestShutdownDrains submits work, shuts the manager down, and expects
+// the queued job to have completed and later submissions to be refused.
+func TestShutdownDrains(t *testing.T) {
+	mgr := NewManager(ManagerConfig{Workers: 1})
+	id, err := mgr.Submit(smallJob(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Fatalf("drain incomplete: %v", err)
+	}
+	st, err := mgr.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Errorf("drained job state = %s (%s), want done", st.State, st.Error)
+	}
+	if _, err := mgr.Submit(smallJob(52)); err != ErrShuttingDown {
+		t.Errorf("post-shutdown submit err = %v, want ErrShuttingDown", err)
+	}
+	// Shutdown is idempotent.
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+}
+
+// TestShutdownDeadlineCancelsRunning forces the drain budget to expire
+// while a job is gated mid-run; the job must come back cancelled, not
+// hang the shutdown.
+func TestShutdownDeadlineCancelsRunning(t *testing.T) {
+	mgr := NewManager(ManagerConfig{Workers: 1})
+	gate, release := gateFirstProgress(mgr)
+
+	id, err := mgr.Submit(smallJob(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		done <- mgr.Shutdown(ctx)
+	}()
+	// Let the deadline fire while the job is parked, then release it; the
+	// cancelled base context stops the estimator at the next boundary.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+
+	if err := <-done; err == nil {
+		t.Error("expected a deadline error from Shutdown")
+	}
+	st, err := mgr.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Errorf("state after deadline drain = %s, want cancelled", st.State)
+	}
+}
+
+// TestStatsCounters sanity-checks the per-instance counter wiring.
+func TestStatsCounters(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{Workers: 1})
+	id := submitJob(t, srv, smallJob(71))
+	waitTerminal(t, srv, id)
+	s := serviceStats(t, srv)
+	if s.JobsSubmitted != 1 || s.JobsCompleted != 1 {
+		t.Errorf("stats = %+v, want 1 submitted / 1 completed", s)
+	}
+	if s.PairsSimulated < 1000 {
+		t.Errorf("pairs simulated = %d, want ≥ population size 1000", s.PairsSimulated)
+	}
+	if s.CacheMisses != 1 || s.CacheHits != 0 {
+		t.Errorf("cache hits/misses = %d/%d, want 0/1", s.CacheHits, s.CacheMisses)
+	}
+	if s.PopulationsHeld != 1 {
+		t.Errorf("populations cached = %d, want 1", s.PopulationsHeld)
+	}
+}

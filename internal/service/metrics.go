@@ -1,0 +1,18 @@
+package service
+
+import "expvar"
+
+// Process-wide expvar counters, served on /debug/vars. Every Manager in
+// the process feeds them (the per-instance numbers are on /v1/stats);
+// expvar.Publish panics on duplicate names, so these live at package
+// scope and are created exactly once.
+var (
+	expJobsSubmitted  = expvar.NewInt("maxpowerd_jobs_submitted")
+	expJobsCompleted  = expvar.NewInt("maxpowerd_jobs_completed")
+	expJobsFailed     = expvar.NewInt("maxpowerd_jobs_failed")
+	expJobsCancelled  = expvar.NewInt("maxpowerd_jobs_cancelled")
+	expCacheHits      = expvar.NewInt("maxpowerd_population_cache_hits")
+	expCacheMisses    = expvar.NewInt("maxpowerd_population_cache_misses")
+	expPairsSimulated = expvar.NewInt("maxpowerd_pairs_simulated")
+	expWorkersBusy    = expvar.NewInt("maxpowerd_workers_busy")
+)

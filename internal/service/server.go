@@ -1,0 +1,186 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"io"
+	"net/http"
+
+	"repro/maxpower"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate payload is
+// an uploaded .bench netlist (C7552-class files are well under 1 MiB).
+const maxBodyBytes = 8 << 20
+
+// Server is the HTTP front of a Manager.
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes around a Manager.
+func NewServer(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/circuits", s.handleCircuits)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	return s
+}
+
+// Manager exposes the underlying job manager (for shutdown wiring).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// handleSubmit is POST /v1/jobs: validate, enqueue, 202 with the ID.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_body", err.Error())
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", "request body exceeds 8 MiB")
+		return
+	}
+	var req JobRequest
+	if err := unmarshalStrict(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", err.Error())
+		return
+	}
+	if err := req.Validate(isBuiltinCircuit); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	id, err := s.mgr.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "queue_full", err.Error())
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":         id,
+		"status_url": "/v1/jobs/" + id,
+		"result_url": "/v1/jobs/" + id + "/result",
+	})
+}
+
+func isBuiltinCircuit(name string) bool {
+	for _, n := range maxpower.CircuitNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// handleList is GET /v1/jobs.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+}
+
+// handleStatus is GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleResult is GET /v1/jobs/{id}/result.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.mgr.Result(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFinished):
+		writeError(w, http.StatusConflict, "not_finished", err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleCancel is DELETE /v1/jobs/{id}.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	err := s.mgr.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrFinished):
+		writeError(w, http.StatusConflict, "already_finished", err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": r.PathValue("id"), "state": "cancelling"})
+}
+
+// handleCircuits is GET /v1/circuits: the built-in benchmark table.
+func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
+	names := maxpower.CircuitNames()
+	infos := make([]CircuitInfo, 0, len(names))
+	for _, n := range names {
+		c, err := s.mgr.resolveCircuit(JobRequest{Circuit: n})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		cs := c.ComputeStats()
+		infos = append(infos, CircuitInfo{
+			Name: cs.Name, Inputs: cs.Inputs, Outputs: cs.Outputs,
+			Gates: cs.LogicGates, Depth: cs.Depth,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"circuits": infos})
+}
+
+// handleStats is GET /v1/stats: per-instance counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Stats())
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// unmarshalStrict decodes JSON rejecting unknown fields, so typos in
+// request bodies fail loudly instead of silently taking defaults.
+func unmarshalStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, apiError{Error: errorBody{Code: code, Message: msg}})
+}

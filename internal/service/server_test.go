@@ -1,0 +1,429 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/maxpower"
+)
+
+// --- HTTP test helpers -------------------------------------------------
+
+func newTestServer(t *testing.T, cfg ManagerConfig) (*httptest.Server, *Manager) {
+	t.Helper()
+	mgr := NewManager(cfg)
+	srv := httptest.NewServer(NewServer(mgr))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	})
+	return srv, mgr
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) (int, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw.Bytes(), out); err != nil {
+			t.Fatalf("decode %s %s: %v\nbody: %s", method, url, err, raw.String())
+		}
+	}
+	return resp.StatusCode, raw.Bytes()
+}
+
+func submitJob(t *testing.T, srv *httptest.Server, req JobRequest) string {
+	t.Helper()
+	var resp struct {
+		ID string `json:"id"`
+	}
+	code, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", req, &resp)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", code, body)
+	}
+	if resp.ID == "" {
+		t.Fatalf("submit: empty job id, body %s", body)
+	}
+	return resp.ID
+}
+
+func jobStatus(t *testing.T, srv *httptest.Server, id string) JobStatus {
+	t.Helper()
+	var st JobStatus
+	code, body := doJSON(t, http.MethodGet, srv.URL+"/v1/jobs/"+id, nil, &st)
+	if code != http.StatusOK {
+		t.Fatalf("status %s: %d, body %s", id, code, body)
+	}
+	return st
+}
+
+func waitTerminal(t *testing.T, srv *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := jobStatus(t, srv, id)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return JobStatus{}
+}
+
+func serviceStats(t *testing.T, srv *httptest.Server) Stats {
+	t.Helper()
+	var s Stats
+	code, body := doJSON(t, http.MethodGet, srv.URL+"/v1/stats", nil, &s)
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d, body %s", code, body)
+	}
+	return s
+}
+
+// --- End-to-end acceptance test ---------------------------------------
+
+// TestEndToEndC432 is the acceptance flow: submit a C432 job, observe an
+// intermediate progress snapshot mid-run, retrieve a final result that
+// bit-matches a direct maxpower.Estimate with the same seed, then
+// resubmit the identical request and watch it hit the population cache
+// and finish faster than the cold run.
+func TestEndToEndC432(t *testing.T) {
+	srv, mgr := newTestServer(t, ManagerConfig{Workers: 2, CacheSize: 4})
+
+	// Gate the first job after its first hyper-sample so the test can
+	// deterministically observe an intermediate snapshot while running.
+	firstSnapshot := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	mgr.OnProgress = func(id string, p Progress) {
+		once.Do(func() {
+			close(firstSnapshot)
+			<-release
+		})
+	}
+
+	req := JobRequest{
+		Circuit:    "C432",
+		Population: PopulationSpec{Size: 3000, Seed: 11},
+		Options:    EstimateOptions{Seed: 7},
+	}
+	id := submitJob(t, srv, req)
+
+	select {
+	case <-firstSnapshot:
+	case <-time.After(60 * time.Second):
+		t.Fatal("no progress snapshot arrived")
+	}
+	st := jobStatus(t, srv, id)
+	if st.State != StateRunning {
+		t.Fatalf("mid-run state = %s, want %s", st.State, StateRunning)
+	}
+	if st.Progress == nil || st.Progress.HyperSamples == 0 {
+		t.Fatalf("mid-run progress = %+v, want nonzero hyper-sample count", st.Progress)
+	}
+	if st.Progress.Units == 0 {
+		t.Fatalf("mid-run progress units = 0, want > 0")
+	}
+	close(release) // the once-guard makes the hook a no-op from here on
+
+	cold := waitTerminal(t, srv, id)
+	if cold.State != StateDone {
+		t.Fatalf("cold job state = %s (%s), want done", cold.State, cold.Error)
+	}
+	if cold.CacheHit {
+		t.Fatal("cold job unexpectedly hit the population cache")
+	}
+
+	var res JobResult
+	code, body := doJSON(t, http.MethodGet, srv.URL+"/v1/jobs/"+id+"/result", nil, &res)
+	if code != http.StatusOK {
+		t.Fatalf("result: %d, body %s", code, body)
+	}
+
+	// The service result must match a direct library call exactly: same
+	// circuit, same spec, same seeds, and an observer that consumes no
+	// randomness.
+	c, err := maxpower.Circuit("C432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := maxpower.BuildPopulation(c, maxpower.PopulationSpec{Size: 3000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := maxpower.Estimate(pop, maxpower.EstimateOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != direct.Estimate {
+		t.Errorf("service estimate %v != direct estimate %v", res.Estimate, direct.Estimate)
+	}
+	if res.Units != direct.Units || res.HyperSamples != direct.HyperSamples {
+		t.Errorf("service cost (units=%d k=%d) != direct (units=%d k=%d)",
+			res.Units, res.HyperSamples, direct.Units, direct.HyperSamples)
+	}
+
+	// Identical resubmission: must hit the population cache and beat the
+	// cold run (which paid for 3000 simulations).
+	before := serviceStats(t, srv)
+	id2 := submitJob(t, srv, req)
+	warm := waitTerminal(t, srv, id2)
+	if warm.State != StateDone {
+		t.Fatalf("warm job state = %s (%s), want done", warm.State, warm.Error)
+	}
+	if !warm.CacheHit {
+		t.Fatal("warm job missed the population cache")
+	}
+	after := serviceStats(t, srv)
+	if after.CacheHits != before.CacheHits+1 {
+		t.Errorf("cache hits %d -> %d, want +1", before.CacheHits, after.CacheHits)
+	}
+	if warm.DurationMS >= cold.DurationMS {
+		t.Errorf("warm job (%.2f ms) not faster than cold (%.2f ms)", warm.DurationMS, cold.DurationMS)
+	}
+
+	var res2 JobResult
+	if code, body := doJSON(t, http.MethodGet, srv.URL+"/v1/jobs/"+id2+"/result", nil, &res2); code != http.StatusOK {
+		t.Fatalf("warm result: %d, body %s", code, body)
+	}
+	if res2.Estimate != res.Estimate {
+		t.Errorf("warm estimate %v != cold estimate %v (cache must not change results)", res2.Estimate, res.Estimate)
+	}
+}
+
+// TestBenchUploadJob estimates an uploaded .bench netlist end to end.
+func TestBenchUploadJob(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{Workers: 1})
+	const c17 = `
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+	id := submitJob(t, srv, JobRequest{
+		Bench:      c17,
+		Population: PopulationSpec{Size: 500, Seed: 3},
+		Options:    EstimateOptions{Seed: 4},
+	})
+	st := waitTerminal(t, srv, id)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", st.State, st.Error)
+	}
+	var res JobResult
+	if code, body := doJSON(t, http.MethodGet, srv.URL+"/v1/jobs/"+id+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("result: %d, body %s", code, body)
+	}
+	if res.Estimate <= 0 {
+		t.Errorf("estimate = %v, want > 0", res.Estimate)
+	}
+}
+
+// TestStreamingJob runs an on-demand job (no population, no cache).
+func TestStreamingJob(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{Workers: 1})
+	id := submitJob(t, srv, JobRequest{
+		Circuit:    "C432",
+		Streaming:  true,
+		Population: PopulationSpec{Seed: 5},
+		Options:    EstimateOptions{Seed: 6, MaxHyperSamples: 4, Epsilon: 0.4},
+	})
+	st := waitTerminal(t, srv, id)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", st.State, st.Error)
+	}
+	if st.CacheHit {
+		t.Error("streaming job cannot be a cache hit")
+	}
+	if st.Progress == nil || st.Progress.Units == 0 {
+		t.Errorf("streaming progress = %+v, want nonzero units", st.Progress)
+	}
+}
+
+// TestSubmitValidation exercises the structured 4xx responses.
+func TestSubmitValidation(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{Workers: 1})
+	cases := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"no circuit", JobRequest{}},
+		{"both sources", JobRequest{Circuit: "C432", Bench: "INPUT(1)\nOUTPUT(1)\n"}},
+		{"unknown circuit", JobRequest{Circuit: "C9999"}},
+		{"negative size", JobRequest{Circuit: "C432", Population: PopulationSpec{Size: -5}}},
+		{"bad kind", JobRequest{Circuit: "C432", Population: PopulationSpec{Kind: "bogus"}}},
+		{"activity above 1", JobRequest{Circuit: "C432", Population: PopulationSpec{Kind: "high-activity", Activity: 1.5}}},
+		{"epsilon at 1", JobRequest{Circuit: "C432", Options: EstimateOptions{Epsilon: 1}}},
+		{"negative confidence", JobRequest{Circuit: "C432", Options: EstimateOptions{Confidence: -0.2}}},
+		{"bad probs", JobRequest{Circuit: "C432", Population: PopulationSpec{Kind: "constrained", Probs: []float64{0.5, 1.5}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var apiErr apiError
+			code, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", tc.req, &apiErr)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400; body %s", code, body)
+			}
+			if apiErr.Error.Code == "" || apiErr.Error.Message == "" {
+				t.Errorf("error body not structured: %s", body)
+			}
+		})
+	}
+
+	t.Run("malformed json", func(t *testing.T) {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte("{not json")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("unknown field", func(t *testing.T) {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+			bytes.NewReader([]byte(`{"circuit":"C432","populaton":{}}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400 for misspelled field", resp.StatusCode)
+		}
+	})
+}
+
+// TestAuxEndpoints covers /healthz, /v1/circuits, /v1/jobs, /debug/vars
+// and the not-found/not-finished error paths.
+func TestAuxEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{Workers: 1})
+
+	var health map[string]string
+	if code, _ := doJSON(t, http.MethodGet, srv.URL+"/healthz", nil, &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", code, health)
+	}
+
+	var circuits struct {
+		Circuits []CircuitInfo `json:"circuits"`
+	}
+	if code, _ := doJSON(t, http.MethodGet, srv.URL+"/v1/circuits", nil, &circuits); code != http.StatusOK {
+		t.Fatalf("circuits status %d", code)
+	}
+	if len(circuits.Circuits) == 0 {
+		t.Fatal("no built-in circuits listed")
+	}
+	seen := false
+	for _, c := range circuits.Circuits {
+		if c.Name == "C432" {
+			seen = true
+			if c.Inputs <= 0 || c.Gates <= 0 {
+				t.Errorf("C432 info looks empty: %+v", c)
+			}
+		}
+	}
+	if !seen {
+		t.Error("C432 missing from /v1/circuits")
+	}
+
+	if code, _ := doJSON(t, http.MethodGet, srv.URL+"/v1/jobs/nope", nil, nil); code != http.StatusNotFound {
+		t.Errorf("missing job status = %d, want 404", code)
+	}
+	if code, _ := doJSON(t, http.MethodGet, srv.URL+"/v1/jobs/nope/result", nil, nil); code != http.StatusNotFound {
+		t.Errorf("missing job result = %d, want 404", code)
+	}
+
+	var vars map[string]any
+	if code, _ := doJSON(t, http.MethodGet, srv.URL+"/debug/vars", nil, &vars); code != http.StatusOK {
+		t.Fatalf("debug/vars status %d", code)
+	}
+	if _, ok := vars["maxpowerd_jobs_submitted"]; !ok {
+		t.Error("expvar maxpowerd_jobs_submitted not exported")
+	}
+
+	// A queued/running job's result endpoint must say "not finished".
+	id := submitJob(t, srv, JobRequest{
+		Circuit:    "C432",
+		Population: PopulationSpec{Size: 2000, Seed: 1},
+		Options:    EstimateOptions{Seed: 2},
+	})
+	code, body := doJSON(t, http.MethodGet, srv.URL+"/v1/jobs/"+id+"/result", nil, nil)
+	if code != http.StatusConflict && code != http.StatusOK {
+		// StatusOK is possible if the tiny job already finished.
+		t.Errorf("early result fetch = %d, body %s; want 409 (or 200 if already done)", code, body)
+	}
+	waitTerminal(t, srv, id)
+
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if code, _ := doJSON(t, http.MethodGet, srv.URL+"/v1/jobs", nil, &list); code != http.StatusOK {
+		t.Fatalf("job list status %d", code)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != id {
+		t.Errorf("job list = %+v, want exactly %s", list.Jobs, id)
+	}
+}
+
+// TestProgressSnapshotJSON guards the k = 1 snapshot (unbounded CI)
+// against encoding/json's rejection of non-finite floats.
+func TestProgressSnapshotJSON(t *testing.T) {
+	srv, mgr := newTestServer(t, ManagerConfig{Workers: 1})
+	gate := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	mgr.OnProgress = func(id string, p Progress) {
+		once.Do(func() {
+			close(gate)
+			<-release
+		})
+	}
+	id := submitJob(t, srv, JobRequest{
+		Circuit:    "C432",
+		Population: PopulationSpec{Size: 1000, Seed: 9},
+		Options:    EstimateOptions{Seed: 9},
+	})
+	<-gate
+	st := jobStatus(t, srv, id) // would fail to decode on NaN/Inf leakage
+	if st.Progress == nil {
+		t.Fatal("no progress at gate")
+	}
+	if st.Progress.HyperSamples == 1 && (st.Progress.CILow != 0 || st.Progress.CIHigh != 0) {
+		t.Errorf("k=1 snapshot CI = [%v,%v], want sanitized zeros", st.Progress.CILow, st.Progress.CIHigh)
+	}
+	close(release)
+	waitTerminal(t, srv, id)
+}

@@ -17,6 +17,7 @@
 package maxpower
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -99,9 +100,44 @@ type PopulationSpec struct {
 	KeepPairs bool
 }
 
+// Validate rejects population specifications that no generator can
+// honor, with descriptive errors. Zero-valued fields are legal (they
+// take library defaults); out-of-range ones are not. The per-input
+// Probs width check needs the circuit and happens in BuildPopulation.
+func (spec PopulationSpec) Validate() error {
+	if spec.Size < 0 {
+		return fmt.Errorf("maxpower: population Size must be non-negative (0 = default 20000), got %d", spec.Size)
+	}
+	switch spec.Kind {
+	case PopUniform, PopHighActivity, PopConstrained, "":
+	default:
+		return fmt.Errorf("maxpower: unknown population kind %q (want %q, %q or %q)",
+			spec.Kind, PopUniform, PopHighActivity, PopConstrained)
+	}
+	if spec.Kind == PopHighActivity || spec.Kind == "" {
+		if spec.Activity < 0 || spec.Activity > 1 {
+			return fmt.Errorf("maxpower: high-activity floor Activity must be in [0,1] (0 = default 0.3), got %v", spec.Activity)
+		}
+	}
+	if spec.Kind == PopConstrained && spec.Probs == nil {
+		if spec.Activity <= 0 || spec.Activity > 1 {
+			return fmt.Errorf("maxpower: constrained population needs Activity in (0,1], got %v", spec.Activity)
+		}
+	}
+	for i, p := range spec.Probs {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("maxpower: Probs[%d] = %v outside [0,1]", i, p)
+		}
+	}
+	return nil
+}
+
 // BuildPopulation simulates a finite population of vector pairs on the
 // circuit and returns it ready for estimation.
 func BuildPopulation(c *netlist.Circuit, spec PopulationSpec) (*Population, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	if spec.Size == 0 {
 		spec.Size = 20000
 	}
@@ -130,6 +166,9 @@ func generatorFor(inputs int, spec PopulationSpec) (vectorgen.Generator, error) 
 	case PopUniform:
 		return vectorgen.Uniform{N: inputs}, nil
 	case PopHighActivity, "":
+		if spec.Activity < 0 || spec.Activity > 1 {
+			return nil, fmt.Errorf("maxpower: high-activity floor Activity must be in [0,1], got %v", spec.Activity)
+		}
 		min := spec.Activity
 		if min == 0 {
 			min = 0.3
@@ -167,22 +206,70 @@ type EstimateOptions struct {
 	MaxHyperSamples int
 	// DisableFiniteCorrection turns off the §3.4 correction (ablation).
 	DisableFiniteCorrection bool
+	// Progress, when non-nil, receives a snapshot after every completed
+	// hyper-sample. The callback runs synchronously on the estimating
+	// goroutine and never changes the result (it consumes no randomness).
+	Progress func(ProgressSnapshot)
 }
 
-// Estimate runs the EVT maximum-power estimator against a population.
-func Estimate(pop *Population, opt EstimateOptions) (Result, error) {
-	est, err := evt.New(pop, evt.Config{
+// ProgressSnapshot is the running state of an estimation after a
+// hyper-sample; see evt.Progress.
+type ProgressSnapshot = evt.Progress
+
+// Validate rejects option sets whose fields fall outside their legal
+// ranges with descriptive errors. Zero values are legal (paper
+// defaults: n = 30, m = 10, ε = 5%, l = 90%).
+func (opt EstimateOptions) Validate() error {
+	if opt.SampleSize < 0 {
+		return fmt.Errorf("maxpower: SampleSize must be non-negative (0 = default 30), got %d", opt.SampleSize)
+	}
+	if opt.SamplesPerHyper < 0 || (opt.SamplesPerHyper > 0 && opt.SamplesPerHyper < 3) {
+		return fmt.Errorf("maxpower: SamplesPerHyper must be ≥ 3 for a 3-parameter fit (0 = default 10), got %d", opt.SamplesPerHyper)
+	}
+	if opt.Epsilon < 0 || opt.Epsilon >= 1 {
+		return fmt.Errorf("maxpower: Epsilon must be in (0,1) (0 = default 0.05), got %v", opt.Epsilon)
+	}
+	if opt.Confidence < 0 || opt.Confidence >= 1 {
+		return fmt.Errorf("maxpower: Confidence must be in (0,1) (0 = default 0.90), got %v", opt.Confidence)
+	}
+	if opt.MaxHyperSamples < 0 {
+		return fmt.Errorf("maxpower: MaxHyperSamples must be non-negative (0 = default 200), got %d", opt.MaxHyperSamples)
+	}
+	return nil
+}
+
+func (opt EstimateOptions) evtConfig() evt.Config {
+	cfg := evt.Config{
 		SampleSize:              opt.SampleSize,
 		SamplesPerHyper:         opt.SamplesPerHyper,
 		Epsilon:                 opt.Epsilon,
 		Confidence:              opt.Confidence,
 		MaxHyperSamples:         opt.MaxHyperSamples,
 		DisableFiniteCorrection: opt.DisableFiniteCorrection,
-	})
+	}
+	if opt.Progress != nil {
+		cfg.Observer = evt.ObserverFunc(opt.Progress)
+	}
+	return cfg
+}
+
+// Estimate runs the EVT maximum-power estimator against a population.
+func Estimate(pop *Population, opt EstimateOptions) (Result, error) {
+	return EstimateContext(context.Background(), pop, opt)
+}
+
+// EstimateContext is Estimate with cancellation: when ctx is cancelled
+// the run stops at the next hyper-sample boundary and returns the best
+// result so far (Result.Converged reports whether ε was reached).
+func EstimateContext(ctx context.Context, pop *Population, opt EstimateOptions) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+	est, err := evt.New(pop, opt.evtConfig())
 	if err != nil {
 		return Result{}, err
 	}
-	return est.Run(stats.NewRNG(opt.Seed)), nil
+	return est.RunContext(ctx, stats.NewRNG(opt.Seed)), nil
 }
 
 // EstimateStreaming runs the estimator against on-demand simulation: no
@@ -192,6 +279,20 @@ func Estimate(pop *Population, opt EstimateOptions) (Result, error) {
 // the §3.4 finite-population correction targets that nominal |V|;
 // spec.Size = 0 estimates the infinite-population maximum (raw μ̂).
 func EstimateStreaming(c *netlist.Circuit, spec PopulationSpec, opt EstimateOptions) (Result, error) {
+	return EstimateStreamingContext(context.Background(), c, spec, opt)
+}
+
+// EstimateStreamingContext is EstimateStreaming with cancellation at
+// hyper-sample boundaries — the natural shape for long on-demand runs
+// against large designs, where each unit is a full event-driven
+// simulation.
+func EstimateStreamingContext(ctx context.Context, c *netlist.Circuit, spec PopulationSpec, opt EstimateOptions) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
 	if spec.DelayModel == "" {
 		spec.DelayModel = "fanout"
 	}
@@ -208,18 +309,11 @@ func EstimateStreaming(c *netlist.Circuit, spec PopulationSpec, opt EstimateOpti
 		return Result{}, err
 	}
 	src.DeclaredSize = spec.Size
-	est, err := evt.New(src, evt.Config{
-		SampleSize:              opt.SampleSize,
-		SamplesPerHyper:         opt.SamplesPerHyper,
-		Epsilon:                 opt.Epsilon,
-		Confidence:              opt.Confidence,
-		MaxHyperSamples:         opt.MaxHyperSamples,
-		DisableFiniteCorrection: opt.DisableFiniteCorrection,
-	})
+	est, err := evt.New(src, opt.evtConfig())
 	if err != nil {
 		return Result{}, err
 	}
-	return est.Run(stats.NewRNG(opt.Seed)), nil
+	return est.RunContext(ctx, stats.NewRNG(opt.Seed)), nil
 }
 
 // EstimateCircuit is the one-shot convenience: build the named circuit's
