@@ -11,11 +11,18 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/bench"
+	"repro/internal/delay"
+	"repro/internal/evt"
 	"repro/internal/experiments"
+	"repro/internal/power"
 	"repro/internal/service"
+	"repro/internal/stats"
+	"repro/internal/vectorgen"
 )
 
 // benchRunner builds a Runner with a small cached population. The
@@ -251,6 +258,68 @@ func BenchmarkServiceJobSubmit(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			serviceRoundTrip(b, srv.URL, req)
 		}
+	})
+}
+
+// scalarStream hides StreamSource's SampleBatch, forcing the estimator
+// onto the one-unit-at-a-time path — the pre-batching baseline.
+type scalarStream struct{ src *vectorgen.StreamSource }
+
+func (s scalarStream) SamplePower(rng *stats.RNG) float64 { return s.src.SamplePower(rng) }
+func (s scalarStream) Size() int                          { return s.src.Size() }
+
+// BenchmarkEstimateStreaming measures the dominant hot path of real-design
+// estimation — on-demand simulation of every sampled unit — on the
+// C3540-scale circuit, comparing the scalar baseline against the batched
+// sampling seam at 1 and NumCPU workers. All variants are bit-identical in
+// results (TestEstimateStreamingDeterministicAcrossWorkers); only the cost
+// per unit changes. The run is pinned to 8 hyper-samples (2400 units) so
+// every iteration does identical work.
+func BenchmarkEstimateStreaming(b *testing.B) {
+	c := bench.MustGenerate("C3540")
+	gen := vectorgen.HighActivity{N: c.NumInputs(), MinActivity: 0.3}
+	cfg := evt.Config{Epsilon: 0.001, MaxHyperSamples: 8}
+
+	run := func(b *testing.B, src evt.Source) {
+		b.Helper()
+		est, err := evt.New(src, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			res := est.Run(stats.NewRNG(uint64(i) + 1))
+			if res.Units < 2400 {
+				b.Fatalf("units = %d, want ≥ 2400", res.Units)
+			}
+		}
+	}
+	newSource := func(b *testing.B, model delay.Model, workers int) *vectorgen.StreamSource {
+		b.Helper()
+		src, err := vectorgen.NewStreamSource(power.NewEvaluator(c, model, power.Params{}), gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src.Workers = workers
+		return src
+	}
+
+	// Zero delay: the batch path packs 64 pairs per settle pass.
+	b.Run("zero/scalar", func(b *testing.B) {
+		run(b, scalarStream{src: newSource(b, delay.Zero{}, 1)})
+	})
+	b.Run("zero/batched-1", func(b *testing.B) {
+		run(b, newSource(b, delay.Zero{}, 1))
+	})
+	b.Run("zero/batched-ncpu", func(b *testing.B) {
+		run(b, newSource(b, delay.Zero{}, runtime.NumCPU()))
+	})
+	// Timed (fanout-loaded) delay: no lane packing, but the batch seam
+	// still fans the event-driven simulations out across workers.
+	b.Run("fanout/scalar", func(b *testing.B) {
+		run(b, scalarStream{src: newSource(b, delay.FanoutLoaded{}, 1)})
+	})
+	b.Run("fanout/batched-ncpu", func(b *testing.B) {
+		run(b, newSource(b, delay.FanoutLoaded{}, runtime.NumCPU()))
 	})
 }
 

@@ -71,10 +71,13 @@ func main() {
 
 	if *stream {
 		// On-demand simulation: the real-design flow. No exhaustive ground
-		// truth exists, which is the whole point of the method.
-		fmt.Printf("streaming estimation: kind=%s nominal |V|=%d delay=%s…\n", *kind, *popSize, *delayM)
+		// truth exists, which is the whole point of the method. -workers
+		// fans out each hyper-sample's simulations without changing the
+		// result (generation stays sequential in the RNG).
+		fmt.Printf("streaming estimation: kind=%s nominal |V|=%d delay=%s workers=%s…\n",
+			*kind, *popSize, *delayM, workersLabel(*workers))
 		res, err := maxpower.EstimateStreaming(c, spec, maxpower.EstimateOptions{
-			Epsilon: *eps, Confidence: *conf, Seed: *seed + 1,
+			Epsilon: *eps, Confidence: *conf, Seed: *seed + 1, Workers: *workers,
 		})
 		if err != nil {
 			fatal(err)
@@ -171,6 +174,13 @@ func populationFromSpec(c *netlist.Circuit, path string, size int, delayName str
 	}
 	eval := power.NewEvaluator(c, model, power.Params{})
 	return vectorgen.Build(eval, gen, vectorgen.Options{Size: size, Seed: seed, Workers: workers})
+}
+
+func workersLabel(n int) string {
+	if n <= 0 {
+		return "NumCPU"
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 func fatal(err error) {

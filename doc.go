@@ -4,9 +4,15 @@
 // The public API lives in the maxpower package; internal packages provide
 // the substrates (netlist, event-driven timing simulation, power model,
 // vector-pair populations, hand-written statistics, the reverse-Weibull
-// MLE, and the EVT estimator itself). See README.md for a tour, DESIGN.md
-// for the system inventory, and EXPERIMENTS.md for the paper-vs-measured
-// comparison. The benchmarks in bench_test.go regenerate every table and
-// figure of the paper at a reduced scale; cmd/experiments produces the
-// full versions.
+// MLE, and the EVT estimator itself). Sampling is batched end to end:
+// sources implementing evt.BatchSource supply each hyper-sample's m·n
+// unit powers in one call, simulated bit-parallel (64 pairs per settle
+// pass on zero-delay models) across a worker pool, bit-identical to the
+// scalar path for any worker count. maxpowerd serves estimation jobs over
+// JSON/HTTP with per-job worker budgets. See README.md for a tour,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-vs-measured comparison. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper at a reduced scale (plus
+// BenchmarkEstimateStreaming for the batched hot path); cmd/experiments
+// produces the full versions.
 package repro

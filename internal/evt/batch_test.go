@@ -1,0 +1,116 @@
+package evt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/vectorgen"
+)
+
+// countingBatch is an infinite BatchSource whose batch and scalar draws
+// consume the RNG identically (the BatchSource contract), with a counter
+// proving which path the estimator took.
+type countingBatch struct {
+	batches int
+	scalars int
+}
+
+func (c *countingBatch) draw(rng *stats.RNG) float64 {
+	// Weibull-ish bounded-above distribution: 10 − Exp gives a right
+	// endpoint at 10, the shape the MLE fit expects.
+	return 10 - rng.ExpFloat64()
+}
+
+func (c *countingBatch) SamplePower(rng *stats.RNG) float64 {
+	c.scalars++
+	return c.draw(rng)
+}
+
+func (c *countingBatch) Size() int { return 0 }
+
+func (c *countingBatch) SampleBatch(rng *stats.RNG, dst []float64) {
+	c.batches++
+	for i := range dst {
+		dst[i] = c.draw(rng)
+	}
+}
+
+// scalarOnly hides a source's SampleBatch so the estimator falls back to
+// per-unit draws.
+type scalarOnly struct{ src Source }
+
+func (s scalarOnly) SamplePower(rng *stats.RNG) float64 { return s.src.SamplePower(rng) }
+func (s scalarOnly) Size() int                          { return s.src.Size() }
+
+func resultsEqual(a, b Result) bool {
+	return a.Estimate == b.Estimate && a.CILow == b.CILow && a.CIHigh == b.CIHigh &&
+		a.RelErr == b.RelErr && a.Units == b.Units && a.HyperSamples == b.HyperSamples &&
+		a.Converged == b.Converged && a.ObservedMax == b.ObservedMax && a.SigmaSq == b.SigmaSq
+}
+
+// TestBatchPathBitIdenticalToScalar is the BatchSource contract: with the
+// same seed, the batched and scalar sampling paths must produce
+// bit-identical results — estimates, intervals, unit counts, everything.
+func TestBatchPathBitIdenticalToScalar(t *testing.T) {
+	cfg := Config{Epsilon: 0.001, MaxHyperSamples: 12}
+	for _, seed := range []uint64{1, 7, 42, 1 << 40} {
+		src := &countingBatch{}
+		batched, err := New(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar, err := New(scalarOnly{src: src}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb := batched.Run(stats.NewRNG(seed))
+		if src.batches == 0 {
+			t.Fatal("estimator never used the batch path of a BatchSource")
+		}
+		if src.scalars != 0 {
+			t.Fatalf("estimator made %d scalar draws alongside the batch path", src.scalars)
+		}
+		rs := scalar.Run(stats.NewRNG(seed))
+		if src.scalars == 0 {
+			t.Fatal("scalar wrapper still hit the batch path")
+		}
+		if !resultsEqual(rb, rs) {
+			t.Errorf("seed %d: batched %+v != scalar %+v", seed, rb, rs)
+		}
+		for i := range rb.Trace {
+			if rb.Trace[i].Estimate != rs.Trace[i].Estimate || rb.Trace[i].Units != rs.Trace[i].Units {
+				t.Errorf("seed %d: trace[%d] diverged", seed, i)
+			}
+		}
+	}
+}
+
+// TestPopulationBatchBitIdenticalToScalar runs the same check against the
+// real finite-population source (vectorgen.Population implements
+// BatchSource via index draws).
+func TestPopulationBatchBitIdenticalToScalar(t *testing.T) {
+	rng := stats.NewRNG(3)
+	powers := make([]float64, 5000)
+	for i := range powers {
+		powers[i] = 5 - math.Abs(rng.NormFloat64())
+	}
+	pop := vectorgen.FromPowers("synthetic", powers)
+
+	cfg := Config{Epsilon: 0.02}
+	batched, err := New(pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := New(scalarOnly{src: pop}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{2, 11, 99} {
+		rb := batched.Run(stats.NewRNG(seed))
+		rs := scalar.Run(stats.NewRNG(seed))
+		if !resultsEqual(rb, rs) {
+			t.Errorf("seed %d: batched %+v != scalar %+v", seed, rb, rs)
+		}
+	}
+}

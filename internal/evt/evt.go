@@ -36,6 +36,23 @@ type Source interface {
 	Size() int
 }
 
+// BatchSource is an optional upgrade of Source for bulk sampling: the
+// estimator requests all m·n unit powers of a hyper-sample as one
+// SampleBatch call instead of m·n scalar draws, letting the source
+// amortize per-unit cost (bit-parallel simulation, worker pools).
+//
+// Determinism contract: SampleBatch must consume the RNG exactly as
+// len(dst) sequential SamplePower calls would — i.e. any randomness is
+// spent generating the batch's units in order, and only the (RNG-free)
+// simulation of those units may run out of order or in parallel. Under
+// that contract, batched and scalar estimation produce bit-identical
+// Results for any seed and any worker count; the tests enforce it.
+type BatchSource interface {
+	Source
+	// SampleBatch fills dst with len(dst) unit powers.
+	SampleBatch(rng *stats.RNG, dst []float64)
+}
+
 // InfiniteSource adapts a draw function as an infinite population.
 type InfiniteSource func(rng *stats.RNG) float64
 
@@ -200,10 +217,14 @@ type Result struct {
 	ObservedMax float64
 }
 
-// Estimator runs the paper's iterative procedure against a Source.
+// Estimator runs the paper's iterative procedure against a Source. When
+// the source also implements BatchSource, each hyper-sample's m·n unit
+// powers are drawn as one batch (same results, amortized cost).
 type Estimator struct {
-	cfg Config
-	src Source
+	cfg   Config
+	src   Source
+	batch BatchSource // non-nil when src supports bulk sampling
+	buf   []float64   // scratch for one hyper-sample's m·n unit powers
 }
 
 // New builds an estimator; cfg fields at zero take the paper's defaults.
@@ -214,7 +235,9 @@ func New(src Source, cfg Config) (*Estimator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Estimator{cfg: cfg.Defaults(), src: src}, nil
+	e := &Estimator{cfg: cfg.Defaults(), src: src}
+	e.batch, _ = src.(BatchSource)
+	return e, nil
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -222,22 +245,15 @@ func (e *Estimator) Config() Config { return e.cfg }
 
 // HyperSample draws one hyper-sample: m samples of size n, one MLE fit.
 // It retries with fresh draws when the fit fails, and falls back to the
-// observed maximum if every retry fails.
+// observed maximum if every retry fails. Sources implementing BatchSource
+// are sampled one m·n batch per attempt; by the BatchSource contract the
+// result is bit-identical to the scalar path.
 func (e *Estimator) HyperSample(rng *stats.RNG) HyperSampleResult {
 	cfg := e.cfg
 	res := HyperSampleResult{ObservedMax: math.Inf(-1)}
 	for attempt := 0; ; attempt++ {
 		maxima := make([]float64, cfg.SamplesPerHyper)
-		for i := range maxima {
-			sampleMax := math.Inf(-1)
-			for j := 0; j < cfg.SampleSize; j++ {
-				p := e.src.SamplePower(rng)
-				if p > sampleMax {
-					sampleMax = p
-				}
-			}
-			maxima[i] = sampleMax
-		}
+		e.drawMaxima(rng, maxima)
 		res.Units += cfg.SamplesPerHyper * cfg.SampleSize
 		for _, v := range maxima {
 			if v > res.ObservedMax {
@@ -285,6 +301,41 @@ func (e *Estimator) HyperSample(rng *stats.RNG) HyperSampleResult {
 			res.Estimate = res.ObservedMax
 			return res
 		}
+	}
+}
+
+// drawMaxima fills maxima[i] with the largest of SampleSize unit powers,
+// for each of the len(maxima) samples. Batch-capable sources supply all
+// m·n units in one call; the maxima reduction is position-based, so the
+// two paths see identical unit streams.
+func (e *Estimator) drawMaxima(rng *stats.RNG, maxima []float64) {
+	n := e.cfg.SampleSize
+	if e.batch != nil {
+		total := len(maxima) * n
+		if cap(e.buf) < total {
+			e.buf = make([]float64, total)
+		}
+		units := e.buf[:total]
+		e.batch.SampleBatch(rng, units)
+		for i := range maxima {
+			sampleMax := math.Inf(-1)
+			for _, p := range units[i*n : (i+1)*n] {
+				if p > sampleMax {
+					sampleMax = p
+				}
+			}
+			maxima[i] = sampleMax
+		}
+		return
+	}
+	for i := range maxima {
+		sampleMax := math.Inf(-1)
+		for j := 0; j < n; j++ {
+			if p := e.src.SamplePower(rng); p > sampleMax {
+				sampleMax = p
+			}
+		}
+		maxima[i] = sampleMax
 	}
 }
 

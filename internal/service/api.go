@@ -49,7 +49,10 @@ func (s PopulationSpec) toLib(workers int) maxpower.PopulationSpec {
 	}
 }
 
-// EstimateOptions is the wire form of maxpower.EstimateOptions.
+// EstimateOptions is the wire form of maxpower.EstimateOptions. Workers
+// is the job's simulation-parallelism budget for streaming runs; the
+// manager clamps it to its own SimWorkers ceiling, and it never changes
+// the estimate (only wall time).
 type EstimateOptions struct {
 	SampleSize              int     `json:"sample_size,omitempty"`
 	SamplesPerHyper         int     `json:"samples_per_hyper,omitempty"`
@@ -58,6 +61,7 @@ type EstimateOptions struct {
 	Seed                    uint64  `json:"seed,omitempty"`
 	MaxHyperSamples         int     `json:"max_hyper_samples,omitempty"`
 	DisableFiniteCorrection bool    `json:"disable_finite_correction,omitempty"`
+	Workers                 int     `json:"workers,omitempty"`
 }
 
 func (o EstimateOptions) toLib() maxpower.EstimateOptions {
@@ -69,6 +73,7 @@ func (o EstimateOptions) toLib() maxpower.EstimateOptions {
 		Seed:                    o.Seed,
 		MaxHyperSamples:         o.MaxHyperSamples,
 		DisableFiniteCorrection: o.DisableFiniteCorrection,
+		Workers:                 o.Workers,
 	}
 }
 
@@ -190,6 +195,7 @@ type Stats struct {
 	CacheHits       int64 `json:"population_cache_hits"`
 	CacheMisses     int64 `json:"population_cache_misses"`
 	PairsSimulated  int64 `json:"pairs_simulated"`
+	UnitsSimulated  int64 `json:"units_simulated"`
 	WorkersBusy     int64 `json:"workers_busy"`
 	QueueDepth      int64 `json:"queue_depth"`
 	PopulationsHeld int64 `json:"populations_cached"`

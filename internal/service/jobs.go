@@ -34,8 +34,9 @@ type ManagerConfig struct {
 	QueueDepth int
 	// CacheSize is the population LRU capacity in entries. Default 16.
 	CacheSize int
-	// SimWorkers bounds the per-job parallelism of population builds
-	// (0 = NumCPU).
+	// SimWorkers bounds the per-job simulation parallelism: population
+	// builds and the batched per-hyper-sample simulation of streaming
+	// jobs (0 = NumCPU). A job may request fewer workers, never more.
 	SimWorkers int
 }
 
@@ -98,6 +99,7 @@ type Manager struct {
 	jobsFailed     atomic.Int64
 	jobsCancelled  atomic.Int64
 	pairsSimulated atomic.Int64
+	unitsSimulated atomic.Int64
 	workersBusy    atomic.Int64
 
 	// OnProgress, when non-nil, is invoked after each job progress
@@ -289,6 +291,7 @@ func (m *Manager) Stats() Stats {
 		CacheHits:       hits,
 		CacheMisses:     misses,
 		PairsSimulated:  m.pairsSimulated.Load(),
+		UnitsSimulated:  m.unitsSimulated.Load(),
 		WorkersBusy:     m.workersBusy.Load(),
 		QueueDepth:      int64(len(m.queue)),
 		PopulationsHeld: int64(m.pops.len()),
@@ -378,8 +381,16 @@ func (m *Manager) runJob(j *job) {
 		expJobsCompleted.Add(1)
 	}
 	if j.result != nil {
-		m.pairsSimulated.Add(int64(res.Units))
-		expPairsSimulated.Add(int64(res.Units))
+		// Units is the estimator's cost ("# of units", the paper's cost
+		// metric). For streaming jobs every unit is also one live pair
+		// simulation; population-mode draws hit precomputed powers, whose
+		// simulations were counted when the population was built.
+		m.unitsSimulated.Add(int64(res.Units))
+		expUnitsSimulated.Add(int64(res.Units))
+		if j.req.Streaming {
+			m.pairsSimulated.Add(int64(res.Units))
+			expPairsSimulated.Add(int64(res.Units))
+		}
 	}
 }
 
@@ -395,6 +406,13 @@ func (m *Manager) execute(ctx context.Context, j *job) (maxpower.Result, bool, e
 	opt.Progress = func(p maxpower.ProgressSnapshot) { m.recordProgress(j, p) }
 
 	if j.req.Streaming {
+		// Job-level worker budget: the request picks its parallelism, the
+		// manager's SimWorkers is the ceiling. Worker count never changes
+		// the result (the batched sampling seam is deterministic), so this
+		// is purely a resource-isolation knob.
+		if budget := m.cfg.SimWorkers; budget > 0 && (opt.Workers <= 0 || opt.Workers > budget) {
+			opt.Workers = budget
+		}
 		res, err := maxpower.EstimateStreamingContext(ctx, c, spec, opt)
 		return res, false, err
 	}

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -173,6 +174,59 @@ func TestShutdownDeadlineCancelsRunning(t *testing.T) {
 	}
 	if st.State != StateCancelled {
 		t.Errorf("state after deadline drain = %s, want cancelled", st.State)
+	}
+}
+
+// fetchResult GETs a finished job's result body.
+func fetchResult(t *testing.T, srv *httptest.Server, id string) JobResult {
+	t.Helper()
+	var res JobResult
+	if code, body := doJSON(t, http.MethodGet, srv.URL+"/v1/jobs/"+id+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("result: %d, body %s", code, body)
+	}
+	return res
+}
+
+// TestStreamingWorkerBudget runs the same streaming job under different
+// job-level worker budgets (one over, one under the manager's SimWorkers
+// ceiling) and checks bit-identical results plus the units_simulated
+// counter — the service-level face of the batched sampling seam's
+// determinism contract.
+func TestStreamingWorkerBudget(t *testing.T) {
+	req := JobRequest{
+		Circuit:    "C432",
+		Population: PopulationSpec{Size: 20000, Seed: 7},
+		Options:    EstimateOptions{Seed: 7, Epsilon: 0.001, MaxHyperSamples: 4},
+		Streaming:  true,
+	}
+	run := func(t *testing.T, workers int) (JobResult, Stats) {
+		srv, _ := newTestServer(t, ManagerConfig{Workers: 1, SimWorkers: 2})
+		r := req
+		r.Options.Workers = workers
+		id := submitJob(t, srv, r)
+		if st := waitTerminal(t, srv, id); st.State != StateDone {
+			t.Fatalf("workers=%d: state %s (%s)", workers, st.State, st.Error)
+		}
+		return fetchResult(t, srv, id), serviceStats(t, srv)
+	}
+
+	base, stats := run(t, 0) // clamped to SimWorkers=2
+	if base.Units != 4*300 {
+		t.Fatalf("units = %d, want 1200 (4 pinned hyper-samples)", base.Units)
+	}
+	if stats.UnitsSimulated != int64(base.Units) {
+		t.Errorf("units_simulated counter = %d, want %d", stats.UnitsSimulated, base.Units)
+	}
+	if stats.PairsSimulated != int64(base.Units) {
+		t.Errorf("streaming pairs_simulated = %d, want %d", stats.PairsSimulated, base.Units)
+	}
+	for _, workers := range []int{1, 8} {
+		res, _ := run(t, workers)
+		if res.Estimate != base.Estimate || res.Units != base.Units ||
+			res.CILow != base.CILow || res.CIHigh != base.CIHigh {
+			t.Errorf("workers=%d: result diverged from budget-0 run:\n  %+v\n  %+v",
+				workers, res, base)
+		}
 	}
 }
 

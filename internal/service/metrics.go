@@ -14,5 +14,6 @@ var (
 	expCacheHits      = expvar.NewInt("maxpowerd_population_cache_hits")
 	expCacheMisses    = expvar.NewInt("maxpowerd_population_cache_misses")
 	expPairsSimulated = expvar.NewInt("maxpowerd_pairs_simulated")
+	expUnitsSimulated = expvar.NewInt("maxpowerd_units_simulated")
 	expWorkersBusy    = expvar.NewInt("maxpowerd_workers_busy")
 )

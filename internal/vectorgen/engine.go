@@ -1,0 +1,115 @@
+package vectorgen
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/power"
+)
+
+// evalEngine is the shared simulation backend of Build and
+// StreamSource.SampleBatch: it evaluates a slice of vector pairs into a
+// slice of cycle powers across a bounded worker pool, using the 64-lane
+// bit-parallel settle path for zero-delay models and the event-driven
+// simulator otherwise. Each worker slot owns a cloned evaluator, so the
+// lane-packed engine (and its per-clone scratch state) is built once and
+// reused across calls.
+//
+// Determinism: powers[i] depends only on pairs[i], and every write lands
+// at its own index, so the output is bit-identical for any worker count
+// and any goroutine schedule.
+type evalEngine struct {
+	workers int
+	evals   []*power.Evaluator // one clone per worker slot
+}
+
+// newEvalEngine clones eval into workers independent evaluators
+// (0 = NumCPU).
+func newEvalEngine(eval *power.Evaluator, workers int) *evalEngine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	e := &evalEngine{workers: workers, evals: make([]*power.Evaluator, workers)}
+	for i := range e.evals {
+		e.evals[i] = eval.Clone()
+	}
+	return e
+}
+
+// evaluate fills powers[i] with the cycle power (mW) of pairs[i]. The two
+// slices must have equal length. The first simulation error is returned;
+// indices whose chunk errored are left untouched.
+func (e *evalEngine) evaluate(pairs []Pair, powers []float64) error {
+	if len(pairs) != len(powers) {
+		return fmt.Errorf("vectorgen: %d pairs but %d power slots", len(pairs), len(powers))
+	}
+	n := len(pairs)
+	if n == 0 {
+		return nil
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return evalChunk(e.evals[0], pairs, powers)
+	}
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = evalChunk(e.evals[w], pairs[lo:hi], powers[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalChunk evaluates one worker's contiguous share. Zero-delay models go
+// through the bit-parallel path, 64 pairs per settle pass; the results are
+// bit-identical to per-pair CyclePowerMW calls (power.ZeroDelayBatchMW
+// guarantees it), so the two branches are interchangeable.
+func evalChunk(ev *power.Evaluator, pairs []Pair, powers []float64) error {
+	if ev.ZeroDelay() {
+		v1s := make([][]bool, 0, 64)
+		v2s := make([][]bool, 0, 64)
+		for base := 0; base < len(pairs); base += 64 {
+			end := base + 64
+			if end > len(pairs) {
+				end = len(pairs)
+			}
+			v1s, v2s = v1s[:0], v2s[:0]
+			for i := base; i < end; i++ {
+				v1s = append(v1s, pairs[i].V1)
+				v2s = append(v2s, pairs[i].V2)
+			}
+			batch, err := ev.ZeroDelayBatchMW(v1s, v2s)
+			if err != nil {
+				return fmt.Errorf("vectorgen: bit-parallel evaluation: %w", err)
+			}
+			copy(powers[base:end], batch)
+		}
+		return nil
+	}
+	for i := range pairs {
+		powers[i] = ev.CyclePowerMW(pairs[i].V1, pairs[i].V2)
+	}
+	return nil
+}

@@ -2,8 +2,6 @@ package vectorgen
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/power"
 	"repro/internal/stats"
@@ -39,7 +37,8 @@ type Population struct {
 // Build generates a population with gen and evaluates every unit's cycle
 // power with eval (in parallel). The result is deterministic in
 // Options.Seed regardless of worker count because generation is
-// sequential and only simulation is parallel.
+// sequential and only simulation is parallel. Simulation errors (from the
+// bit-parallel zero-delay path) are propagated, not masked.
 func Build(eval *power.Evaluator, gen Generator, opt Options) (*Population, error) {
 	if opt.Size <= 0 {
 		return nil, fmt.Errorf("vectorgen: population size must be positive, got %d", opt.Size)
@@ -47,13 +46,6 @@ func Build(eval *power.Evaluator, gen Generator, opt Options) (*Population, erro
 	if gen.Inputs() != eval.Circuit().NumInputs() {
 		return nil, fmt.Errorf("vectorgen: generator width %d != circuit %s inputs %d",
 			gen.Inputs(), eval.Circuit().Name, eval.Circuit().NumInputs())
-	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > opt.Size {
-		workers = opt.Size
 	}
 
 	rng := stats.NewRNG(opt.Seed)
@@ -63,53 +55,9 @@ func Build(eval *power.Evaluator, gen Generator, opt Options) (*Population, erro
 	}
 
 	powers := make([]float64, opt.Size)
-	var wg sync.WaitGroup
-	chunk := (opt.Size + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > opt.Size {
-			hi = opt.Size
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			ev := eval.Clone()
-			if ev.ZeroDelay() {
-				// Bit-parallel fast path: 64 pairs per settle pass.
-				v1s := make([][]bool, 0, 64)
-				v2s := make([][]bool, 0, 64)
-				for base := lo; base < hi; base += 64 {
-					end := base + 64
-					if end > hi {
-						end = hi
-					}
-					v1s, v2s = v1s[:0], v2s[:0]
-					for i := base; i < end; i++ {
-						v1s = append(v1s, pairs[i].V1)
-						v2s = append(v2s, pairs[i].V2)
-					}
-					batch, err := ev.ZeroDelayBatchMW(v1s, v2s)
-					if err != nil {
-						// Fall back to the serial path on any batch error.
-						for i := base; i < end; i++ {
-							powers[i] = ev.CyclePowerMW(pairs[i].V1, pairs[i].V2)
-						}
-						continue
-					}
-					copy(powers[base:end], batch)
-				}
-				return
-			}
-			for i := lo; i < hi; i++ {
-				powers[i] = ev.CyclePowerMW(pairs[i].V1, pairs[i].V2)
-			}
-		}(lo, hi)
+	if err := newEvalEngine(eval, opt.Workers).evaluate(pairs, powers); err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	p := &Population{
 		name:    fmt.Sprintf("%s/%s/%d", eval.Circuit().Name, gen.Name(), opt.Size),
@@ -198,6 +146,16 @@ func (p *Population) SampleIndex(rng *stats.RNG) int { return rng.Intn(len(p.pow
 // SamplePower draws one unit's power uniformly with replacement.
 func (p *Population) SamplePower(rng *stats.RNG) float64 {
 	return p.powers[rng.Intn(len(p.powers))]
+}
+
+// SampleBatch implements evt.BatchSource: it fills dst with len(dst)
+// uniform with-replacement draws, consuming the RNG exactly as the same
+// number of SamplePower calls would, so batched and scalar sampling are
+// interchangeable bit for bit.
+func (p *Population) SampleBatch(rng *stats.RNG, dst []float64) {
+	for i := range dst {
+		dst[i] = p.powers[rng.Intn(len(p.powers))]
+	}
 }
 
 // ECDF returns the empirical CDF of the population's power values.

@@ -1,6 +1,7 @@
 package vectorgen
 
 import (
+	"runtime"
 	"sync/atomic"
 
 	"repro/internal/power"
@@ -16,6 +17,13 @@ import (
 // explicit DeclaredSize when the §3.4 finite-population correction should
 // target a nominal |V|.
 //
+// It also implements evt.BatchSource: SampleBatch generates the batch's
+// pairs sequentially from the RNG (so the random stream is consumed
+// exactly as the same number of SamplePower calls would consume it) and
+// then simulates them across Workers parallel evaluators, through the
+// 64-lane bit-parallel settle path when the delay model is zero-delay.
+// Results are bit-identical to the scalar path for any worker count.
+//
 // StreamSource is safe for sequential use only (like the estimator
 // itself); the underlying evaluator is cloned per instance.
 type StreamSource struct {
@@ -25,8 +33,14 @@ type StreamSource struct {
 	// applies the finite-population quantile correction for a nominal
 	// population of that many pairs.
 	DeclaredSize int
+	// Workers bounds the parallel simulation inside SampleBatch
+	// (0 = NumCPU). It never affects results, only wall time.
+	Workers int
 
+	eng       *evalEngine // lazily built; rebuilt when Workers changes
+	pairBuf   []Pair
 	simulated atomic.Int64
+	batchErr  error
 }
 
 // NewStreamSource builds an on-demand source from an evaluator and a
@@ -56,9 +70,51 @@ func (s *StreamSource) SamplePower(rng *stats.RNG) float64 {
 	return s.eval.CyclePowerMW(p.V1, p.V2)
 }
 
+// SampleBatch implements evt.BatchSource: generate len(dst) pairs
+// sequentially, then simulate them in parallel into dst. A simulation
+// error from the batch engine is recorded (see BatchErr) and the affected
+// pairs re-evaluate on the scalar path, so dst is always fully valid.
+func (s *StreamSource) SampleBatch(rng *stats.RNG, dst []float64) {
+	if cap(s.pairBuf) < len(dst) {
+		s.pairBuf = make([]Pair, len(dst))
+	}
+	pairs := s.pairBuf[:len(dst)]
+	for i := range pairs {
+		pairs[i] = s.gen.Generate(rng)
+	}
+	s.simulated.Add(int64(len(dst)))
+	if err := s.engine().evaluate(pairs, dst); err != nil {
+		// Bit-parallel evaluation is bit-identical to the scalar path, so
+		// recovering serially preserves the determinism contract while the
+		// recorded error keeps the failure visible.
+		s.batchErr = err
+		for i, p := range pairs {
+			dst[i] = s.eval.CyclePowerMW(p.V1, p.V2)
+		}
+	}
+}
+
+// engine returns the cached evaluation engine, rebuilding it when the
+// Workers budget changed since the last batch.
+func (s *StreamSource) engine() *evalEngine {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if s.eng == nil || s.eng.workers != w {
+		s.eng = newEvalEngine(s.eval, w)
+	}
+	return s.eng
+}
+
 // Size implements evt.Source.
 func (s *StreamSource) Size() int { return s.DeclaredSize }
 
 // Simulated returns the number of pairs simulated so far — the method's
 // real cost counter.
 func (s *StreamSource) Simulated() int64 { return s.simulated.Load() }
+
+// BatchErr returns the first simulation error the batch engine reported,
+// or nil. The affected batches were transparently re-evaluated serially,
+// so results are unaffected; the error is surfaced for observability.
+func (s *StreamSource) BatchErr() error { return s.batchErr }

@@ -161,14 +161,16 @@ func BuildPopulation(c *netlist.Circuit, spec PopulationSpec) (*Population, erro
 	})
 }
 
+// generatorFor maps a spec onto its vectorgen generator. The spec's
+// field ranges were already vetted by PopulationSpec.Validate (the single
+// source of truth — both BuildPopulation and the streaming flow call it
+// first); only the per-input Probs width check lives here, because it
+// needs the circuit.
 func generatorFor(inputs int, spec PopulationSpec) (vectorgen.Generator, error) {
 	switch spec.Kind {
 	case PopUniform:
 		return vectorgen.Uniform{N: inputs}, nil
 	case PopHighActivity, "":
-		if spec.Activity < 0 || spec.Activity > 1 {
-			return nil, fmt.Errorf("maxpower: high-activity floor Activity must be in [0,1], got %v", spec.Activity)
-		}
 		min := spec.Activity
 		if min == 0 {
 			min = 0.3
@@ -180,9 +182,6 @@ func generatorFor(inputs int, spec PopulationSpec) (vectorgen.Generator, error) 
 				return nil, fmt.Errorf("maxpower: %d probabilities for %d inputs", len(spec.Probs), inputs)
 			}
 			return vectorgen.Constrained{Probs: spec.Probs}, nil
-		}
-		if spec.Activity <= 0 || spec.Activity > 1 {
-			return nil, fmt.Errorf("maxpower: constrained population needs Activity in (0,1], got %v", spec.Activity)
 		}
 		return vectorgen.ConstantActivity(inputs, spec.Activity), nil
 	}
@@ -206,6 +205,12 @@ type EstimateOptions struct {
 	MaxHyperSamples int
 	// DisableFiniteCorrection turns off the §3.4 correction (ablation).
 	DisableFiniteCorrection bool
+	// Workers bounds the parallel simulation of each hyper-sample's units
+	// in streaming estimation (0 = NumCPU). Vector-pair generation stays
+	// sequential — only the RNG-free simulation fans out — so the result
+	// is bit-identical for every worker count. Ignored by Estimate, whose
+	// population is already simulated.
+	Workers int
 	// Progress, when non-nil, receives a snapshot after every completed
 	// hyper-sample. The callback runs synchronously on the estimating
 	// goroutine and never changes the result (it consumes no randomness).
@@ -234,6 +239,9 @@ func (opt EstimateOptions) Validate() error {
 	}
 	if opt.MaxHyperSamples < 0 {
 		return fmt.Errorf("maxpower: MaxHyperSamples must be non-negative (0 = default 200), got %d", opt.MaxHyperSamples)
+	}
+	if opt.Workers < 0 {
+		return fmt.Errorf("maxpower: Workers must be non-negative (0 = NumCPU), got %d", opt.Workers)
 	}
 	return nil
 }
@@ -309,6 +317,7 @@ func EstimateStreamingContext(ctx context.Context, c *netlist.Circuit, spec Popu
 		return Result{}, err
 	}
 	src.DeclaredSize = spec.Size
+	src.Workers = opt.Workers
 	est, err := evt.New(src, opt.evtConfig())
 	if err != nil {
 		return Result{}, err
