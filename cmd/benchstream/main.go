@@ -1,0 +1,161 @@
+// Command benchstream measures the streaming-estimation hot path — the
+// cost of one full estimator run with on-demand simulation — and emits a
+// machine-readable JSON baseline (BENCH_streaming.json). CI runs it on
+// every push and uploads the file as an artifact, so regressions in the
+// lane-packed simulators show up as a diffable number instead of a vague
+// "feels slower".
+//
+// Usage:
+//
+//	benchstream                      # all circuit × delay-model variants
+//	benchstream -circuits C432       # subset
+//	benchstream -iterations 3        # runs per variant (report the mean)
+//	benchstream -o BENCH_streaming.json
+//
+// Protocol: each variant pins the estimator to 8 hyper-samples at
+// ε = 0.001 (the BenchmarkEstimateStreaming configuration) and times
+// complete runs via testing.Benchmark, single worker, so the number is
+// the single-core cost of the lane-packed engines — comparable across
+// commits on the same machine, not across machines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+	"repro/internal/evt"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/vectorgen"
+)
+
+// Variant is one measured configuration.
+type Variant struct {
+	Circuit string  `json:"circuit"`
+	Model   string  `json:"delay_model"`
+	NsPerOp int64   `json:"ns_per_run"`
+	MsPerOp float64 `json:"ms_per_run"`
+	Units   int     `json:"units_per_run"`
+}
+
+// Baseline is the emitted document.
+type Baseline struct {
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	NumCPU     int       `json:"num_cpu"`
+	Timestamp  time.Time `json:"timestamp"`
+	Iterations int       `json:"iterations_per_variant"`
+	Variants   []Variant `json:"variants"`
+}
+
+func main() {
+	var (
+		circuits   = flag.String("circuits", "C432,C3540", "comma-separated benchmark circuits")
+		iterations = flag.Int("iterations", 3, "estimator runs per variant")
+		out        = flag.String("o", "BENCH_streaming.json", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	base := Baseline{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Timestamp:  time.Now().UTC(),
+		Iterations: *iterations,
+	}
+	models := []delay.Model{delay.Zero{}, delay.FanoutLoaded{}}
+	for _, name := range strings.Split(*circuits, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c, err := bench.Generate(name)
+		if err != nil {
+			fatal(err)
+		}
+		for _, model := range models {
+			v, err := measure(name, c.NumInputs(), model, *iterations)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "%-8s %-14s %8.1f ms/run (%d units)\n",
+				v.Circuit, v.Model, v.MsPerOp, v.Units)
+			base.Variants = append(base.Variants, v)
+		}
+	}
+
+	enc, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// measure times complete single-worker estimator runs of the
+// BenchmarkEstimateStreaming configuration through testing.Benchmark.
+func measure(name string, inputs int, model delay.Model, iterations int) (Variant, error) {
+	circuit, err := bench.Generate(name)
+	if err != nil {
+		return Variant{}, err
+	}
+	gen := vectorgen.HighActivity{N: inputs, MinActivity: 0.3}
+	cfg := evt.Config{Epsilon: 0.001, MaxHyperSamples: 8}
+	var units int
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		src, err := vectorgen.NewStreamSource(power.NewEvaluator(circuit, model, power.Params{}), gen)
+		if err != nil {
+			runErr = err
+			b.Skip()
+			return
+		}
+		src.Workers = 1
+		est, err := evt.New(src, cfg)
+		if err != nil {
+			runErr = err
+			b.Skip()
+			return
+		}
+		// Cycle through a fixed seed set so ns/op is the mean over the
+		// same runs whatever iteration count the harness settles on
+		// (low seeds do full-length 8-hyper-sample runs; see
+		// bench_test.go's protocol note).
+		for i := 0; i < b.N; i++ {
+			res := est.Run(stats.NewRNG(uint64(i%iterations) + 1))
+			units = res.Units
+		}
+	})
+	if runErr != nil {
+		return Variant{}, runErr
+	}
+	ns := r.NsPerOp()
+	return Variant{
+		Circuit: name,
+		Model:   model.Name(),
+		NsPerOp: ns,
+		MsPerOp: float64(ns) / 1e6,
+		Units:   units,
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchstream:", err)
+	os.Exit(1)
+}

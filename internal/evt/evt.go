@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/weibull"
@@ -187,6 +188,11 @@ type HyperSampleResult struct {
 	FallbackMax bool
 	// ObservedMax is the largest unit power seen while drawing.
 	ObservedMax float64
+	// SimTime is the wall time spent drawing unit powers (the simulation
+	// side of the run); FitTime is the wall time of the Weibull MLE fits
+	// and estimate construction. Timing reads no randomness, so measured
+	// and unmeasured runs are bit-identical.
+	SimTime, FitTime time.Duration
 }
 
 // Result is the outcome of an estimation run.
@@ -215,6 +221,10 @@ type Result struct {
 	// ObservedMax is the largest unit power encountered anywhere in the
 	// run (the SRS-style lower bound that comes for free).
 	ObservedMax float64
+	// SimTime/FitTime split the run's wall time into its two cost centers:
+	// drawing unit powers (simulation) and Weibull MLE fitting. Their sum
+	// is less than the total wall time by the (cheap) interval bookkeeping.
+	SimTime, FitTime time.Duration
 }
 
 // Estimator runs the paper's iterative procedure against a Source. When
@@ -253,13 +263,16 @@ func (e *Estimator) HyperSample(rng *stats.RNG) HyperSampleResult {
 	res := HyperSampleResult{ObservedMax: math.Inf(-1)}
 	for attempt := 0; ; attempt++ {
 		maxima := make([]float64, cfg.SamplesPerHyper)
+		simStart := time.Now()
 		e.drawMaxima(rng, maxima)
+		res.SimTime += time.Since(simStart)
 		res.Units += cfg.SamplesPerHyper * cfg.SampleSize
 		for _, v := range maxima {
 			if v > res.ObservedMax {
 				res.ObservedMax = v
 			}
 		}
+		fitStart := time.Now()
 		fit, err := weibull.FitMLEShape(maxima, cfg.AlphaMin)
 		if err == nil {
 			// Plausibility guard: the right endpoint of the maxima's law
@@ -293,8 +306,10 @@ func (e *Estimator) HyperSample(rng *stats.RNG) HyperSampleResult {
 			if math.IsNaN(res.Estimate) || math.IsInf(res.Estimate, 0) || res.Estimate < res.ObservedMax {
 				res.Estimate = res.ObservedMax
 			}
+			res.FitTime += time.Since(fitStart)
 			return res
 		}
+		res.FitTime += time.Since(fitStart)
 		if attempt >= cfg.MaxFitRetries {
 			res.Retries = attempt
 			res.FallbackMax = true
@@ -376,6 +391,8 @@ func (e *Estimator) RunContext(ctx context.Context, rng *stats.RNG) Result {
 		hs := e.HyperSample(rng)
 		res.Trace = append(res.Trace, hs)
 		res.Units += hs.Units
+		res.SimTime += hs.SimTime
+		res.FitTime += hs.FitTime
 		if hs.ObservedMax > res.ObservedMax {
 			res.ObservedMax = hs.ObservedMax
 		}

@@ -7,6 +7,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Kind identifies a gate function.
@@ -131,6 +132,11 @@ type Circuit struct {
 	Inputs  []int // indices of Input gates, in declaration order
 	Outputs []int // indices of primary-output gates
 
+	// memoMu guards the lazy caches below. Simulator clones are built
+	// concurrently by worker goroutines over one shared Circuit, so the
+	// first FanoutCounts/Fanouts/Levels call can race with itself; the
+	// cached slices themselves are immutable once published.
+	memoMu      sync.Mutex
 	fanoutCount []int   // cached fanout counts
 	fanout      [][]int // cached fanout adjacency
 	levels      []int   // cached levelization
@@ -309,6 +315,8 @@ func (c *Circuit) NumOutputs() int { return len(c.Outputs) }
 // Primary outputs add one additional load each (the output pad). The result
 // is cached and must not be modified by callers.
 func (c *Circuit) FanoutCounts() []int {
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
 	if c.fanoutCount != nil {
 		return c.fanoutCount
 	}
@@ -328,6 +336,8 @@ func (c *Circuit) FanoutCounts() []int {
 // Fanouts returns the fanout adjacency: Fanouts()[i] lists the gate indices
 // whose fan-in includes i. The result is cached and must not be modified.
 func (c *Circuit) Fanouts() [][]int {
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
 	if c.fanout != nil {
 		return c.fanout
 	}
@@ -344,6 +354,8 @@ func (c *Circuit) Fanouts() [][]int {
 // Levels returns the logic depth of each gate: inputs are level 0 and every
 // other gate is 1 + max(level of fan-ins). The result is cached.
 func (c *Circuit) Levels() []int {
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
 	if c.levels != nil {
 		return c.levels
 	}

@@ -44,6 +44,81 @@ func TestZeroDelayBatchMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestTimedBatchMatchesSerial is the power-level differential for the
+// lane-packed timed path: glitch-weighted batch powers must be
+// bit-identical to per-pair CyclePowerMW under real delay models, at full
+// and partial batch widths.
+func TestTimedBatchMatchesSerial(t *testing.T) {
+	c := bench.MustGenerate("C880")
+	nIn := c.NumInputs()
+	pattern := func(seed uint64) []bool {
+		v := make([]bool, nIn)
+		x := seed
+		for i := range v {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			v[i] = x&1 != 0
+		}
+		return v
+	}
+	for _, m := range []delay.Model{delay.Unit{}, delay.FanoutLoaded{}, delay.StandardTable()} {
+		for _, lanes := range []int{64, 17, 1} {
+			e := NewEvaluator(c, m, Params{})
+			v1s := make([][]bool, lanes)
+			v2s := make([][]bool, lanes)
+			for l := 0; l < lanes; l++ {
+				v1s[l] = pattern(uint64(5*l + 1))
+				v2s[l] = pattern(uint64(5*l + 3))
+			}
+			batch, err := e.TimedBatchMW(v1s, v2s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			via, err := e.BatchMW(v1s, v2s) // dispatcher must pick the same path
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l := 0; l < lanes; l++ {
+				want := e.CyclePowerMW(v1s[l], v2s[l])
+				if batch[l] != want {
+					t.Fatalf("%s lanes=%d lane %d: batch %v serial %v", m.Name(), lanes, l, batch[l], want)
+				}
+				if via[l] != want {
+					t.Fatalf("%s lanes=%d lane %d: BatchMW %v serial %v", m.Name(), lanes, l, via[l], want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchMWDispatch checks the model-based dispatch: zero-delay models
+// take the settle engine, timed models the event-driven one, and both
+// reject the other's dedicated entry point.
+func TestBatchMWDispatch(t *testing.T) {
+	c := bench.MustGenerate("C432")
+	v := make([]bool, c.NumInputs())
+	w := make([]bool, c.NumInputs())
+	for i := range w {
+		w[i] = i%2 == 0
+	}
+	zero := NewEvaluator(c, delay.Zero{}, Params{})
+	if _, err := zero.TimedBatchMW([][]bool{v}, [][]bool{w}); err == nil {
+		t.Fatal("zero-delay evaluator accepted TimedBatchMW")
+	}
+	got, err := zero.BatchMW([][]bool{v}, [][]bool{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := zero.CyclePowerMW(v, w); got[0] != want {
+		t.Fatalf("zero dispatch: %v, want %v", got[0], want)
+	}
+	timed := NewEvaluator(c, delay.FanoutLoaded{}, Params{})
+	if _, err := timed.TimedBatchMW([][]bool{v}, nil); err == nil {
+		t.Fatal("mismatched timed batch accepted")
+	}
+}
+
 func TestZeroDelayBatchRejectsTimed(t *testing.T) {
 	c := bench.MustGenerate("C432")
 	e := NewEvaluator(c, delay.FanoutLoaded{}, Params{})

@@ -15,6 +15,9 @@ type GateEnergy struct {
 // watts. It is the "which nets burn" diagnostic used to act on a maximum
 // power estimate.
 func (e *Evaluator) CycleBreakdown(v1, v2 []bool) (powerW float64, gates []GateEnergy) {
+	// res.Toggles aliases simulator scratch (overwritten by the next
+	// RunCycle); the per-gate counts are copied into GateEnergy records
+	// before this evaluator simulates again, so the alias never escapes.
 	res := e.simulator.RunCycle(v1, v2)
 	c := e.Circuit()
 	var energy float64

@@ -118,7 +118,8 @@ type Evaluator struct {
 	clockS  float64 // clock period, seconds
 	glitch  float64 // per-extra-toggle energy scale (partial swing)
 
-	batch *sim.BitParallel // lazily created 64-lane engine (zero delay only)
+	batch *sim.BitParallel // lazily created 64-lane settle engine (zero delay)
+	timed *sim.TimedBatch  // lazily created 64-lane timed engine (glitch-aware)
 }
 
 // NewEvaluator builds an evaluator for the circuit under a delay model and
@@ -175,6 +176,8 @@ func (e *Evaluator) Params() Params { return e.params }
 // CyclePowerW returns the cycle power in watts for the vector pair
 // (v1, v2): settle at v1, apply v2, average dissipation over one clock.
 func (e *Evaluator) CyclePowerW(v1, v2 []bool) float64 {
+	// res.Toggles aliases simulator scratch; it is consumed before the
+	// next RunCycle, so no defensive copy is needed.
 	res := e.simulator.RunCycle(v1, v2)
 	return e.energyOf(res.Toggles)/e.clockS + e.leakW
 }
@@ -245,6 +248,82 @@ func (e *Evaluator) ZeroDelayBatchMW(v1s, v2s [][]bool) ([]float64, error) {
 		out[i] = (out[i]/e.clockS + e.leakW) * 1e3
 	}
 	return out, nil
+}
+
+// TimedBatchMW evaluates up to 64 vector pairs in one pass of the
+// lane-packed event-driven timed simulator (sim.TimedBatch) and returns
+// their cycle powers in mW, glitches included. It requires a timed
+// (non-zero) delay model; results are bit-identical to calling
+// CyclePowerMW per pair, because the engine's per-lane toggle counts match
+// the scalar simulator's and the glitch-weighted energy sum runs in the
+// same gate order with the same operations.
+func (e *Evaluator) TimedBatchMW(v1s, v2s [][]bool) ([]float64, error) {
+	if e.ZeroDelay() {
+		return nil, fmt.Errorf("power: timed batch evaluation requires a non-zero delay model (use ZeroDelayBatchMW)")
+	}
+	if len(v1s) != len(v2s) {
+		return nil, fmt.Errorf("power: %d first vectors vs %d second", len(v1s), len(v2s))
+	}
+	if e.timed == nil {
+		e.timed = sim.NewTimedBatchDelays(e.Circuit(), e.simulator.DelaysPS())
+	}
+	in1, err := e.timed.PackInputs(v1s)
+	if err != nil {
+		return nil, err
+	}
+	in2, err := e.timed.PackInputs(v2s)
+	if err != nil {
+		return nil, err
+	}
+	res := e.timed.RunCycles(in1, in2)
+	out := make([]float64, len(v1s))
+	for g, any := range res.Any {
+		if any == 0 {
+			continue
+		}
+		eg := e.energyW[g]
+		// Lanes where the gate toggled exactly once (the common case) have
+		// eff = 1 + glitch·0 = 1 exactly, so adding eg unmodified is
+		// bit-identical to the scalar expression and skips the per-lane
+		// count reconstruction. Per lane the sum still runs in ascending
+		// gate order with one add per gate, matching energyOf.
+		multi := res.MultiMask(g)
+		for w := any &^ multi; w != 0; w &= w - 1 {
+			lane := bits.TrailingZeros64(w)
+			if lane >= len(out) {
+				break // inert packing lanes beyond the batch
+			}
+			out[lane] += eg
+		}
+		for w := multi; w != 0; w &= w - 1 {
+			lane := bits.TrailingZeros64(w)
+			if lane >= len(out) {
+				break
+			}
+			// Same expression and accumulation order as energyOf, so each
+			// lane's float64 sum is bit-identical to the scalar path.
+			n := res.Count(g, lane)
+			eff := 1 + e.glitch*float64(n-1)
+			out[lane] += eff * eg
+		}
+	}
+	for i := range out {
+		out[i] = (out[i]/e.clockS + e.leakW) * 1e3
+	}
+	return out, nil
+}
+
+// BatchMW evaluates up to 64 vector pairs through the delay model's
+// lane-packed engine: the bit-parallel settle path under zero delay, the
+// event-driven TimedBatch otherwise. Either way the results are
+// bit-identical to per-pair CyclePowerMW calls — this is the single batch
+// entry point the simulation engines above (vectorgen) use for every
+// delay model.
+func (e *Evaluator) BatchMW(v1s, v2s [][]bool) ([]float64, error) {
+	if e.ZeroDelay() {
+		return e.ZeroDelayBatchMW(v1s, v2s)
+	}
+	return e.TimedBatchMW(v1s, v2s)
 }
 
 // CycleDetail returns cycle power (W) along with the simulator's settle

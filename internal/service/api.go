@@ -199,6 +199,12 @@ type Stats struct {
 	WorkersBusy     int64 `json:"workers_busy"`
 	QueueDepth      int64 `json:"queue_depth"`
 	PopulationsHeld int64 `json:"populations_cached"`
+	// SimNS and MLENS split job wall time into its two cost centers,
+	// in nanoseconds: simulation (unit-power draws plus population
+	// builds) and Weibull MLE fitting. Their ratio is the service-level
+	// view of how much of the estimation budget the simulator consumes.
+	SimNS int64 `json:"sim_ns"`
+	MLENS int64 `json:"mle_ns"`
 }
 
 // apiError is the structured error body: {"error":{"code":..,"message":..}}.

@@ -101,6 +101,8 @@ type Manager struct {
 	pairsSimulated atomic.Int64
 	unitsSimulated atomic.Int64
 	workersBusy    atomic.Int64
+	simNS          atomic.Int64
+	mleNS          atomic.Int64
 
 	// OnProgress, when non-nil, is invoked after each job progress
 	// update (job status already reflects the snapshot). It runs on the
@@ -295,6 +297,8 @@ func (m *Manager) Stats() Stats {
 		WorkersBusy:     m.workersBusy.Load(),
 		QueueDepth:      int64(len(m.queue)),
 		PopulationsHeld: int64(m.pops.len()),
+		SimNS:           m.simNS.Load(),
+		MLENS:           m.mleNS.Load(),
 	}
 }
 
@@ -391,6 +395,12 @@ func (m *Manager) runJob(j *job) {
 			m.pairsSimulated.Add(int64(res.Units))
 			expPairsSimulated.Add(int64(res.Units))
 		}
+		// Wall-time split from the estimator; population-build time was
+		// already added to the sim side in execute.
+		m.simNS.Add(int64(res.SimTime))
+		expSimNS.Add(int64(res.SimTime))
+		m.mleNS.Add(int64(res.FitTime))
+		expMLENS.Add(int64(res.FitTime))
 	}
 }
 
@@ -424,10 +434,16 @@ func (m *Manager) execute(ctx context.Context, j *job) (maxpower.Result, bool, e
 		expCacheHits.Add(1)
 	} else {
 		expCacheMisses.Add(1)
+		buildStart := time.Now()
 		pop, err = maxpower.BuildPopulation(c, spec)
 		if err != nil {
 			return maxpower.Result{}, false, err
 		}
+		// A population build is pure simulation work; count its wall time
+		// on the sim side of the sim/MLE split.
+		buildNS := int64(time.Since(buildStart))
+		m.simNS.Add(buildNS)
+		expSimNS.Add(buildNS)
 		m.pairsSimulated.Add(int64(pop.Size()))
 		expPairsSimulated.Add(int64(pop.Size()))
 		m.pops.add(pk, pop)

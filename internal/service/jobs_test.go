@@ -248,4 +248,12 @@ func TestStatsCounters(t *testing.T) {
 	if s.PopulationsHeld != 1 {
 		t.Errorf("populations cached = %d, want 1", s.PopulationsHeld)
 	}
+	// The sim/MLE wall-time split: a completed population job has done
+	// both a population build (sim side) and at least two Weibull fits.
+	if s.SimNS <= 0 {
+		t.Errorf("sim_ns = %d, want > 0 after a population build", s.SimNS)
+	}
+	if s.MLENS <= 0 {
+		t.Errorf("mle_ns = %d, want > 0 after a completed estimation", s.MLENS)
+	}
 }

@@ -16,4 +16,8 @@ var (
 	expPairsSimulated = expvar.NewInt("maxpowerd_pairs_simulated")
 	expUnitsSimulated = expvar.NewInt("maxpowerd_units_simulated")
 	expWorkersBusy    = expvar.NewInt("maxpowerd_workers_busy")
+	// Wall-time split of completed estimation work: simulation
+	// (unit-power draws and population builds) vs Weibull MLE fitting.
+	expSimNS = expvar.NewInt("maxpowerd_sim_ns")
+	expMLENS = expvar.NewInt("maxpowerd_mle_ns")
 )

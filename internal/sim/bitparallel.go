@@ -29,69 +29,93 @@ func NewBitParallel(c *netlist.Circuit) *BitParallel {
 // Circuit returns the simulated circuit.
 func (bp *BitParallel) Circuit() *netlist.Circuit { return bp.c }
 
-// settleInto evaluates all gates for the packed input matrix: inputs[i]
-// carries primary input i across the 64 lanes.
-func (bp *BitParallel) settleInto(dst []uint64, inputs []uint64) {
-	c := bp.c
+// evalGateWord computes logic gate g's value word from the current fanin
+// words — the 64-lane equivalent of Kind.Eval, shared by the settled
+// (BitParallel) and timed (TimedBatch) engines. Reading the value words
+// directly replaces the scalar path's per-evaluation faninV rebuild.
+func evalGateWord(c *netlist.Circuit, values []uint64, gi int) uint64 {
+	g := &c.Gates[gi]
+	acc := values[g.Fanin[0]]
+	switch g.Kind {
+	case netlist.Buf:
+		// acc already holds the value.
+	case netlist.Not:
+		acc = ^acc
+	case netlist.And, netlist.Nand:
+		for _, f := range g.Fanin[1:] {
+			acc &= values[f]
+		}
+		if g.Kind == netlist.Nand {
+			acc = ^acc
+		}
+	case netlist.Or, netlist.Nor:
+		for _, f := range g.Fanin[1:] {
+			acc |= values[f]
+		}
+		if g.Kind == netlist.Nor {
+			acc = ^acc
+		}
+	case netlist.Xor, netlist.Xnor:
+		for _, f := range g.Fanin[1:] {
+			acc ^= values[f]
+		}
+		if g.Kind == netlist.Xnor {
+			acc = ^acc
+		}
+	}
+	return acc
+}
+
+// settleWords evaluates the steady state of all gates for the packed input
+// matrix (inputs[i] carries primary input i across the 64 lanes) into dst.
+func settleWords(c *netlist.Circuit, dst []uint64, inputs []uint64) {
 	for i, idx := range c.Inputs {
 		dst[idx] = inputs[i]
 	}
 	for i := range c.Gates {
-		g := &c.Gates[i]
-		if g.Kind == netlist.Input {
+		if c.Gates[i].Kind == netlist.Input {
 			continue
 		}
-		acc := dst[g.Fanin[0]]
-		switch g.Kind {
-		case netlist.Buf:
-			// acc already holds the value.
-		case netlist.Not:
-			acc = ^acc
-		case netlist.And, netlist.Nand:
-			for _, f := range g.Fanin[1:] {
-				acc &= dst[f]
-			}
-			if g.Kind == netlist.Nand {
-				acc = ^acc
-			}
-		case netlist.Or, netlist.Nor:
-			for _, f := range g.Fanin[1:] {
-				acc |= dst[f]
-			}
-			if g.Kind == netlist.Nor {
-				acc = ^acc
-			}
-		case netlist.Xor, netlist.Xnor:
-			for _, f := range g.Fanin[1:] {
-				acc ^= dst[f]
-			}
-			if g.Kind == netlist.Xnor {
-				acc = ^acc
-			}
-		}
-		dst[i] = acc
+		dst[i] = evalGateWord(c, dst, i)
 	}
 }
 
-// PackInputs packs up to 64 input vectors (each of circuit width) into one
+// settleInto evaluates all gates for the packed input matrix: inputs[i]
+// carries primary input i across the 64 lanes.
+func (bp *BitParallel) settleInto(dst []uint64, inputs []uint64) {
+	settleWords(bp.c, dst, inputs)
+}
+
+// packInputs packs up to 64 input vectors (each of circuit width) into one
 // lane word per primary input: word i bit l = vectors[l][i].
-func (bp *BitParallel) PackInputs(vectors [][]bool) ([]uint64, error) {
+func packInputs(c *netlist.Circuit, vectors [][]bool) ([]uint64, error) {
 	if len(vectors) == 0 || len(vectors) > 64 {
 		return nil, fmt.Errorf("sim: batch of %d vectors (want 1–64)", len(vectors))
 	}
-	n := bp.c.NumInputs()
+	n := c.NumInputs()
 	words := make([]uint64, n)
 	for l, v := range vectors {
 		if len(v) != n {
 			return nil, fmt.Errorf("sim: vector %d has %d bits, circuit has %d inputs", l, len(v), n)
 		}
 		for i, b := range v {
+			// Branchless bit conversion: random vector bits are a coin flip
+			// per element, so a conditional store would mispredict half the
+			// time.
+			var bit uint64
 			if b {
-				words[i] |= 1 << uint(l)
+				bit = 1
 			}
+			words[i] |= bit << uint(l)
 		}
 	}
 	return words, nil
+}
+
+// PackInputs packs up to 64 input vectors (each of circuit width) into one
+// lane word per primary input: word i bit l = vectors[l][i].
+func (bp *BitParallel) PackInputs(vectors [][]bool) ([]uint64, error) {
+	return packInputs(bp.c, vectors)
 }
 
 // CycleDiff computes, for each gate, the lane mask of zero-delay toggles

@@ -5,6 +5,27 @@
 // gate delays, counting every output transition — including glitches —
 // with single-pending-event inertial filtering (a pulse shorter than a
 // gate's delay is swallowed, as in real hardware).
+//
+// # Lane-packed engines
+//
+// Beyond the scalar Simulator the package provides two 64-lane batch
+// engines, both bit-identical per lane to the scalar path and built for
+// the streaming-estimation hot loop where thousands of independent vector
+// pairs are simulated per estimate:
+//
+//   - BitParallel packs 64 pairs into one uint64 word per gate and settles
+//     them in two topological passes — valid only for zero-delay models,
+//     where no glitches exist.
+//   - TimedBatch runs the full event-driven inertial-delay simulation on
+//     64 pairs at once. Per-gate delays are lane-invariant, so all lanes'
+//     events for a gate share one calendar slot and the scalar
+//     single-pending-event rules become word-level mask algebra; toggle
+//     counts are kept as bit-plane ripple-carry counters. See the TimedBatch
+//     type documentation and DESIGN.md §7 for the algorithm.
+//
+// power.Evaluator dispatches batches to the right engine via BatchMW; the
+// scalar Simulator remains the verification oracle (differential tests)
+// and the single-pair introspection path.
 package sim
 
 import (
@@ -15,10 +36,14 @@ import (
 )
 
 // Result holds the outcome of one simulated cycle. The slices are owned by
-// the Simulator and are overwritten by the next RunCycle call.
+// the Simulator and are overwritten by the next RunCycle call: a caller
+// that keeps a Result past the next cycle sees it silently rewritten. Use
+// CopyToggles to snapshot the counts before simulating again.
 type Result struct {
 	// Toggles counts output transitions per gate during the cycle,
-	// including glitches. Primary-input toggles are counted too.
+	// including glitches. Primary-input toggles are counted too. The slice
+	// aliases the simulator's reusable buffer — valid only until the next
+	// RunCycle on the owning Simulator.
 	Toggles []int32
 	// SettleTime is the time in ps of the last value change (0 when the
 	// vector pair causes no activity).
@@ -115,8 +140,28 @@ func (s *Simulator) Clone() *Simulator {
 	}
 }
 
+// CopyToggles returns an independent copy of the per-gate toggle counts,
+// reusing dst when it has the capacity. It is the safe way to hold toggle
+// data across RunCycle calls, whose Result.Toggles aliases simulator-owned
+// scratch.
+func (r *Result) CopyToggles(dst []int32) []int32 {
+	if cap(dst) < len(r.Toggles) {
+		dst = make([]int32, len(r.Toggles))
+	}
+	dst = dst[:len(r.Toggles)]
+	copy(dst, r.Toggles)
+	return dst
+}
+
 // Circuit returns the simulated circuit.
 func (s *Simulator) Circuit() *netlist.Circuit { return s.c }
+
+// DelaysPS returns the simulator's per-gate delay assignment in ps. The
+// slice is the simulator's own (immutable after construction) — callers
+// must not modify it. It lets a TimedBatch be built from the exact delays
+// of this scalar oracle (NewTimedBatchDelays) even when the delay model's
+// Assign is not deterministic.
+func (s *Simulator) DelaysPS() []int64 { return s.delays }
 
 // ZeroDelay reports whether the simulator runs in the glitch-free
 // zero-delay fast path.

@@ -1,0 +1,675 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+)
+
+// TimedBatch is the word-level (64-lane) event-driven timed simulator:
+// PPSFP-style parallel-pattern simulation of up to 64 vector pairs at once
+// under any integer delay model. Gate values are uint64 lane words, the
+// event queue is an indexed calendar (ring of time buckets — delays are
+// small bounded integers after GCD normalization, so the binary heap of the
+// scalar path is unnecessary), and the single-pending-event inertial
+// semantics of Simulator.runTimed are tracked per lane with bitwise mask
+// algebra. Because per-gate delays are lane-invariant, every lane's toggle
+// counts, settle time, and event count are bit-identical to running the
+// scalar timed simulator on that lane's vector pair — the differential
+// tests enforce it on the zero, unit, fanout, and table models.
+//
+// Cancellation is eager rather than lazy: a replaced or inertially
+// swallowed pending event is cleared from its calendar slot immediately
+// (the slot is found through a per-gate occupancy bitmap), so a popped
+// bucket entry is live by construction and no per-lane timestamps are
+// needed.
+//
+// A TimedBatch keeps reusable buffers and is not safe for concurrent use;
+// build one per goroutine (power.Evaluator.Clone does this transparently).
+type TimedBatch struct {
+	c       *netlist.Circuit
+	n       int   // gate count
+	gcdPS   int64 // picoseconds per normalized time unit
+	ringW   int   // calendar size: power of two > max normalized delay
+	ringMod int64 // ringW − 1, for slot masking
+
+	// Compact evaluation tables: fused per-gate opcodes (kind × fan-in
+	// arity) and flattened fan-in and fan-out indices, packed densely so
+	// the event-loop hot path never touches the full Gate structs (whose
+	// name strings and per-gate slice headers cost a cache line per
+	// evaluation). One- and two-input gates — the overwhelming majority —
+	// additionally carry their fan-in pair packed into one word (fab: low
+	// 32 bits = first fan-in, high 32 = second, duplicated for one-input
+	// gates), so their evaluation is two loads and one logic op with no
+	// faninOff/faninIdx indirection.
+	fop       []uint8
+	fab       []uint64 // packed fan-in pair for the 2-input fast path
+	faninOff  []int32  // gate g's fan-ins are faninIdx[faninOff[g]:faninOff[g+1]]
+	faninIdx  []int32
+	fanoutOff []int32 // gate g's fan-outs are fanoutIdx[fanoutOff[g]:fanoutOff[g+1]]
+	fanoutIdx []int32
+
+	values []uint64 // current value word per gate (kept dense: the fan-in gathers of settle/evalWord stay L1-resident)
+	// pend interleaves the two pending-event words per gate — pend[2g] is
+	// the has-pending lane mask, pend[2g+1] the pending target value — so
+	// the inertial algebra and the firing loop touch one cache line per
+	// gate instead of two.
+	pend   []uint64
+	delays []int64 // normalized per-gate delays (≥ 1 for logic gates)
+	// ring is slot-major — [slot·n + g] — so firing one time bucket walks
+	// a single contiguous stripe instead of striding the whole array.
+	ring    []uint64
+	occ     []uint64 // [g·occW + w]: bitmap of g's occupied slots
+	occW    int      // occupancy words per gate = ceil(ringW/64)
+	buckets [][]int32
+	live    int // number of nonzero (gate, slot) ring entries
+
+	evalStamp []int64 // fanout dedup: last stamp each gate was evaluated at
+	stamp     int64
+
+	changed []int32 // scratch: gates applied in the current delta cycle
+
+	res BatchResult
+}
+
+// Fused opcodes: gate kind specialized on fan-in arity, so the dominant
+// two-input gates evaluate without a loop. One-input gates are folded into
+// the two-input opcodes through a duplicated fab pair — Buf is And2(a, a),
+// Not is Nand2(a, a) — so the fast path needs only the six boolean ops.
+const (
+	fopInput uint8 = iota
+	fopAnd2
+	fopNand2
+	fopOr2
+	fopNor2
+	fopXor2
+	fopXnor2
+	fopAndN
+	fopNandN
+	fopOrN
+	fopNorN
+	fopXorN
+	fopXnorN
+)
+
+// BatchResult holds per-lane outcomes of one RunCycles call, in the shape
+// of 64 scalar Results. It is owned by the TimedBatch and overwritten by
+// the next call; lanes beyond the packed batch stay at zero.
+type BatchResult struct {
+	// Any is, per gate, the mask of lanes where the gate toggled at least
+	// once during the cycle (the analogue of Toggles[g] > 0).
+	Any []uint64
+	// SettleTime is each lane's time in ps of its last value change (0
+	// when the lane's vector pair causes no gate activity).
+	SettleTime [64]int64
+	// Events is each lane's total number of applied value changes,
+	// primary-input toggles included.
+	Events [64]int
+
+	// planes are bit-plane toggle counters, flattened level-major: bit l of
+	// planes[k·nGates+g] is bit k of gate g's toggle count in lane l.
+	planes []uint64
+	levels int
+	nGates int
+}
+
+// Count returns gate g's toggle count in the given lane — the per-lane
+// equivalent of Result.Toggles[g].
+func (r *BatchResult) Count(g, lane int) int32 {
+	var n int32
+	for k := 0; k < r.levels; k++ {
+		n |= int32(r.planes[k*r.nGates+g]>>uint(lane)&1) << uint(k)
+	}
+	return n
+}
+
+// MultiMask returns the mask of lanes where gate g toggled more than once
+// during the cycle (the glitching lanes): the union of every carry plane
+// above the ones bit. Callers use it to fast-path the common
+// single-transition case without per-lane Count reconstruction.
+func (r *BatchResult) MultiMask(g int) uint64 {
+	var m uint64
+	for k := 1; k < r.levels; k++ {
+		m |= r.planes[k*r.nGates+g]
+	}
+	return m
+}
+
+// Toggles expands one lane's per-gate toggle counts into dst (grown as
+// needed), mirroring the scalar Result.Toggles layout.
+func (r *BatchResult) Toggles(lane int, dst []int32) []int32 {
+	if cap(dst) < r.nGates {
+		dst = make([]int32, r.nGates)
+	}
+	dst = dst[:r.nGates]
+	for g := range dst {
+		dst[g] = 0
+	}
+	for k := 0; k < r.levels; k++ {
+		p := r.planes[k*r.nGates : (k+1)*r.nGates]
+		for g, w := range p {
+			dst[g] |= int32(w>>uint(lane)&1) << uint(k)
+		}
+	}
+	return dst
+}
+
+// NewTimedBatch builds a 64-lane timed engine for the circuit under the
+// given delay model. A nil model defaults to delay.FanoutLoaded{}, exactly
+// as New does. Note that an all-zero model is legal here but simulates with
+// every delay guarded to one time unit (the scalar timed path's progress
+// guard); the glitch-free zero-delay contract of Simulator.RunCycle is the
+// BitParallel engine's job, and power.Evaluator dispatches accordingly.
+func NewTimedBatch(c *netlist.Circuit, m delay.Model) *TimedBatch {
+	if m == nil {
+		m = delay.FanoutLoaded{}
+	}
+	d := m.Assign(c)
+	if len(d) != c.NumGates() {
+		panic(fmt.Sprintf("sim: delay model %s returned %d delays for %d gates", m.Name(), len(d), c.NumGates()))
+	}
+	return NewTimedBatchDelays(c, d)
+}
+
+// NewTimedBatchDelays builds the engine from explicit per-gate delays in
+// ps (one entry per gate; Input entries ignored, non-positive logic-gate
+// delays guarded to 1 ps like the scalar timed path). Use this with
+// Simulator.DelaysPS to guarantee the engine sees the exact delays of the
+// scalar oracle even under delay models whose Assign is not deterministic.
+func NewTimedBatchDelays(c *netlist.Circuit, delaysPS []int64) *TimedBatch {
+	n := c.NumGates()
+	if len(delaysPS) != n {
+		panic(fmt.Sprintf("sim: %d delays for %d gates", len(delaysPS), n))
+	}
+	// Effective delays: apply the scalar progress guard, then divide out
+	// the GCD. Event ordering, inertial filtering, and toggle counts are
+	// invariant under uniform time scaling, so simulating in units of the
+	// GCD shrinks the calendar without changing any outcome; SettleTime is
+	// scaled back to ps on output.
+	eff := make([]int64, n)
+	var g int64
+	for i := range c.Gates {
+		if c.Gates[i].Kind == netlist.Input {
+			continue
+		}
+		d := delaysPS[i]
+		if d < 0 {
+			panic(fmt.Sprintf("sim: negative delay for gate %s", c.Gates[i].Name))
+		}
+		if d <= 0 {
+			d = 1
+		}
+		eff[i] = d
+		g = gcd64(g, d)
+	}
+	if g == 0 {
+		g = 1
+	}
+	var maxNorm int64
+	for i := range eff {
+		eff[i] /= g
+		if eff[i] > maxNorm {
+			maxNorm = eff[i]
+		}
+	}
+	if maxNorm == 0 {
+		maxNorm = 1 // circuit with no logic gates
+	}
+	ringW := 2
+	for int64(ringW) <= maxNorm { // ringW > maxNorm ⇒ no slot collisions
+		ringW *= 2
+	}
+	occW := (ringW + 63) / 64
+	arity := func(nf int, two, many uint8) uint8 {
+		if nf <= 2 {
+			return two // one-input gates ride the pair path with a duplicated fab
+		}
+		return many
+	}
+	fop := make([]uint8, n)
+	fab := make([]uint64, n)
+	faninOff := make([]int32, n+1)
+	var totalFanin int32
+	for i := range c.Gates {
+		fi := c.Gates[i].Fanin
+		nf := len(fi)
+		switch c.Gates[i].Kind {
+		case netlist.Input:
+			fop[i] = fopInput
+		case netlist.Buf:
+			fop[i] = fopAnd2 // a & a = a
+		case netlist.Not:
+			fop[i] = fopNand2 // ^(a & a) = ^a
+		case netlist.And:
+			fop[i] = arity(nf, fopAnd2, fopAndN)
+		case netlist.Nand:
+			fop[i] = arity(nf, fopNand2, fopNandN)
+		case netlist.Or:
+			fop[i] = arity(nf, fopOr2, fopOrN)
+		case netlist.Nor:
+			fop[i] = arity(nf, fopNor2, fopNorN)
+		case netlist.Xor:
+			if nf == 1 {
+				fop[i] = fopAnd2 // single-input xor is identity
+			} else {
+				fop[i] = arity(nf, fopXor2, fopXorN)
+			}
+		case netlist.Xnor:
+			if nf == 1 {
+				fop[i] = fopNand2 // single-input xnor is inversion
+			} else {
+				fop[i] = arity(nf, fopXnor2, fopXnorN)
+			}
+		default:
+			panic(fmt.Sprintf("sim: unknown gate kind %v", c.Gates[i].Kind))
+		}
+		switch {
+		case nf >= 2:
+			fab[i] = uint64(uint32(fi[0])) | uint64(uint32(fi[1]))<<32
+		case nf == 1:
+			fab[i] = uint64(uint32(fi[0])) | uint64(uint32(fi[0]))<<32
+		}
+		faninOff[i] = totalFanin
+		totalFanin += int32(nf)
+	}
+	faninOff[n] = totalFanin
+	faninIdx := make([]int32, 0, totalFanin)
+	for i := range c.Gates {
+		for _, f := range c.Gates[i].Fanin {
+			faninIdx = append(faninIdx, int32(f))
+		}
+	}
+	fanouts := c.Fanouts()
+	fanoutOff := make([]int32, n+1)
+	var totalFanout int32
+	for i, fs := range fanouts {
+		fanoutOff[i] = totalFanout
+		totalFanout += int32(len(fs))
+	}
+	fanoutOff[n] = totalFanout
+	fanoutIdx := make([]int32, 0, totalFanout)
+	for _, fs := range fanouts {
+		for _, f := range fs {
+			fanoutIdx = append(fanoutIdx, int32(f))
+		}
+	}
+	tb := &TimedBatch{
+		c:         c,
+		n:         n,
+		gcdPS:     g,
+		ringW:     ringW,
+		ringMod:   int64(ringW - 1),
+		fop:       fop,
+		fab:       fab,
+		faninOff:  faninOff,
+		faninIdx:  faninIdx,
+		fanoutOff: fanoutOff,
+		fanoutIdx: fanoutIdx,
+		values:    make([]uint64, n),
+		pend:      make([]uint64, 2*n),
+		delays:    eff,
+		ring:      make([]uint64, n*ringW),
+		occ:       make([]uint64, n*occW),
+		occW:      occW,
+		buckets:   make([][]int32, ringW),
+		evalStamp: make([]int64, n),
+	}
+	tb.res.nGates = n
+	return tb
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Circuit returns the simulated circuit.
+func (tb *TimedBatch) Circuit() *netlist.Circuit { return tb.c }
+
+// GCDps returns the normalization unit: every simulated time step is this
+// many picoseconds.
+func (tb *TimedBatch) GCDps() int64 { return tb.gcdPS }
+
+// PackInputs packs up to 64 input vectors into one lane word per primary
+// input, same layout as BitParallel.PackInputs.
+func (tb *TimedBatch) PackInputs(vectors [][]bool) ([]uint64, error) {
+	return packInputs(tb.c, vectors)
+}
+
+// evalWord computes logic gate f's value word from the current fanin words
+// through the compact tables — semantically identical to evalGateWord but
+// without touching the Gate structs on the event-loop hot path. One- and
+// two-input gates (the overwhelming majority) take the loop-free path: one
+// packed fab load, two value loads, one boolean op.
+func (tb *TimedBatch) evalWord(f int) uint64 {
+	vals := tb.values
+	fab := tb.fab[f]
+	a, b := vals[fab&0xffffffff], vals[fab>>32]
+	switch tb.fop[f] {
+	case fopAnd2:
+		return a & b
+	case fopNand2:
+		return ^(a & b)
+	case fopOr2:
+		return a | b
+	case fopNor2:
+		return ^(a | b)
+	case fopXor2:
+		return a ^ b
+	case fopXnor2:
+		return ^(a ^ b)
+	}
+	return tb.evalWide(f)
+}
+
+// evalWide is the generic loop fallback for gates with three or more
+// fan-ins, kept out of evalWord so the fast path stays inlinable.
+func (tb *TimedBatch) evalWide(f int) uint64 {
+	vals := tb.values
+	lo, hi := int(tb.faninOff[f]), int(tb.faninOff[f+1])
+	acc := vals[tb.faninIdx[lo]]
+	switch tb.fop[f] {
+	case fopAndN, fopNandN:
+		for _, fi := range tb.faninIdx[lo+1 : hi] {
+			acc &= vals[fi]
+		}
+		if tb.fop[f] == fopNandN {
+			acc = ^acc
+		}
+	case fopOrN, fopNorN:
+		for _, fi := range tb.faninIdx[lo+1 : hi] {
+			acc |= vals[fi]
+		}
+		if tb.fop[f] == fopNorN {
+			acc = ^acc
+		}
+	case fopXorN, fopXnorN:
+		for _, fi := range tb.faninIdx[lo+1 : hi] {
+			acc ^= vals[fi]
+		}
+		if tb.fop[f] == fopXnorN {
+			acc = ^acc
+		}
+	}
+	return acc
+}
+
+// settle evaluates the steady state of every gate for the packed inputs,
+// the compact-table twin of settleWords (gates are in topological order).
+func (tb *TimedBatch) settle(inputs []uint64) {
+	for i, idx := range tb.c.Inputs {
+		tb.values[idx] = inputs[i]
+	}
+	for f := range tb.fop {
+		if tb.fop[f] == fopInput {
+			continue
+		}
+		tb.values[f] = tb.evalWord(f)
+	}
+}
+
+// RunCycles simulates the packed vector pairs (in1, in2) — settle every
+// lane at its first vector, apply its second at t = 0, propagate timed
+// events — and returns the per-lane results. Unused lanes (those packed
+// from fewer than 64 vectors) carry constant-zero inputs and stay inert.
+// The returned BatchResult is reused by the next call.
+func (tb *TimedBatch) RunCycles(in1, in2 []uint64) *BatchResult {
+	c := tb.c
+	if len(in1) != c.NumInputs() || len(in2) != c.NumInputs() {
+		panic("sim: packed input width mismatch")
+	}
+
+	// Reset per-cycle state. The event structures (ring, occ, hasPending,
+	// live) are self-cleaning — every scheduled event is either fired or
+	// eagerly cancelled, both of which clear their entries — so only the
+	// bucket id lists (which may retain stale ids from cancellations) and
+	// the toggle accounting need explicit resets.
+	for i := range tb.buckets {
+		tb.buckets[i] = tb.buckets[i][:0]
+	}
+	for i := range tb.res.planes {
+		tb.res.planes[i] = 0
+	}
+	if tb.res.Any == nil {
+		tb.res.Any = make([]uint64, c.NumGates())
+	}
+	for i := range tb.res.Any {
+		tb.res.Any[i] = 0
+	}
+	tb.res.SettleTime = [64]int64{}
+	tb.res.Events = [64]int{}
+
+	tb.settle(in1)
+
+	// Apply the new input vectors at t = 0: flip all inputs first, then
+	// evaluate fanouts once each, so simultaneous input edges are seen
+	// together (same delta-cycle rule as the scalar path).
+	changed := tb.changed[:0]
+	for i, idx := range c.Inputs {
+		diff := tb.values[idx] ^ in2[i]
+		if diff == 0 {
+			continue
+		}
+		tb.values[idx] = in2[i]
+		tb.addToggles(idx, diff)
+		changed = append(changed, int32(idx))
+	}
+	tb.evaluateFanouts(changed, 0)
+
+	// Event loop: walk the calendar to the next occupied bucket, apply
+	// every live event there (one word op per gate covers all lanes), then
+	// evaluate the changed gates' fanouts at that time.
+	var settleNorm [64]int64
+	t := int64(0)
+	for tb.live > 0 {
+		t++
+		s := int(t & tb.ringMod)
+		for scanned := 0; len(tb.buckets[s]) == 0; scanned++ {
+			if scanned > tb.ringW {
+				panic("sim: timed batch calendar lost an event")
+			}
+			t++
+			s = int(t & tb.ringMod)
+		}
+		bucket := tb.buckets[s]
+		changed = changed[:0]
+		var togAtT uint64
+		row := tb.ring[s*tb.n : (s+1)*tb.n]
+		for _, g32 := range bucket {
+			g := int(g32)
+			m := row[g]
+			if m == 0 {
+				continue // stale id: the lanes were cancelled or replaced
+			}
+			row[g] = 0
+			tb.occ[g*tb.occW+s>>6] &^= 1 << uint(s&63)
+			tb.live--
+			tb.pend[2*g] &^= m
+			toggled := m & (tb.pend[2*g+1] ^ tb.values[g])
+			if toggled == 0 {
+				continue
+			}
+			tb.values[g] ^= toggled
+			tb.addToggles(g, toggled)
+			togAtT |= toggled
+			changed = append(changed, g32)
+		}
+		tb.buckets[s] = bucket[:0]
+		for w := togAtT; w != 0; w &= w - 1 {
+			settleNorm[bits.TrailingZeros64(w)] = t
+		}
+		tb.evaluateFanouts(changed, t)
+	}
+	tb.changed = changed[:0]
+	for l, st := range settleNorm {
+		tb.res.SettleTime[l] = st * tb.gcdPS
+	}
+	// One sequential pass over the toggle planes recovers the per-lane
+	// aggregates the event hot path no longer maintains: Any (the union of
+	// every count bit) and Events (per-lane toggle totals — a vertical
+	// ripple-carry popcount over each plane's gate column, weighted 2^k).
+	n := tb.res.nGates
+	for k := 0; k < tb.res.levels; k++ {
+		row := tb.res.planes[k*n : (k+1)*n]
+		var cnt [24]uint64
+		for g, w := range row {
+			if w == 0 {
+				continue
+			}
+			tb.res.Any[g] |= w
+			carry := w
+			for j := 0; carry != 0; j++ {
+				c0 := cnt[j]
+				cnt[j] = c0 ^ carry
+				carry = c0 & carry
+			}
+		}
+		for j, cw := range cnt {
+			for ; cw != 0; cw &= cw - 1 {
+				tb.res.Events[bits.TrailingZeros64(cw)] += 1 << uint(k+j)
+			}
+		}
+	}
+	return &tb.res
+}
+
+// evaluateFanouts re-evaluates each fanout of the changed gates exactly
+// once at time now. Within one delta cycle the fanin words are fixed, so
+// repeated evaluations of the same gate are idempotent and the scalar
+// path's evaluate-once-per-changed-fanin order collapses to a deduplicated
+// single pass with identical pending-event state.
+func (tb *TimedBatch) evaluateFanouts(changed []int32, now int64) {
+	if len(changed) == 0 {
+		return
+	}
+	off := tb.fanoutOff
+	idx := tb.fanoutIdx
+	if len(changed) == 1 {
+		// One changed gate ⇒ its fanout list alone; no cross-gate
+		// duplicates to dedup, and evaluate is idempotent within a delta
+		// cycle anyway, so skip the stamp bookkeeping entirely.
+		g := changed[0]
+		for _, f := range idx[off[g]:off[g+1]] {
+			tb.evaluate(int(f), now)
+		}
+		return
+	}
+	tb.stamp++
+	// Locals keep the table headers in registers across the evaluate calls
+	// (the callee cannot change them, but the compiler must otherwise
+	// assume it might and reload every iteration).
+	stamp := tb.stamp
+	stamps := tb.evalStamp
+	for _, g := range changed {
+		for _, f := range idx[off[g]:off[g+1]] {
+			if stamps[f] != stamp {
+				stamps[f] = stamp
+				tb.evaluate(int(f), now)
+			}
+		}
+	}
+}
+
+// evaluate recomputes gate f across all 64 lanes at time now and applies
+// the per-lane single-pending-event inertial rules as mask algebra. Lanes
+// whose fanins did not change recompute their previous next-value and fall
+// into the no-op cases, so evaluating the full word is equivalent to the
+// scalar path's per-changed-lane evaluation.
+func (tb *TimedBatch) evaluate(f int, now int64) {
+	// The 2-input fast path of evalWord, open-coded: evaluate is already too
+	// large for the inliner, so keeping the switch here saves a call level
+	// on every fanout evaluation (the hottest edge in the event loop).
+	vals := tb.values
+	fab := tb.fab[f]
+	a, b := vals[fab&0xffffffff], vals[fab>>32]
+	var nv uint64
+	switch tb.fop[f] {
+	case fopAnd2:
+		nv = a & b
+	case fopNand2:
+		nv = ^(a & b)
+	case fopOr2:
+		nv = a | b
+	case fopNor2:
+		nv = ^(a | b)
+	case fopXor2:
+		nv = a ^ b
+	case fopXnor2:
+		nv = ^(a ^ b)
+	default:
+		nv = tb.evalWide(f)
+	}
+	hp := tb.pend[2*f]
+	diffCN := tb.values[f] ^ nv // lanes whose settled target ≠ current value
+	if hp == 0 && diffCN == 0 {
+		return
+	}
+	pv := tb.pend[2*f+1]
+	diffPN := (pv ^ nv) & hp   // pending lanes heading somewhere else
+	cancel := diffPN &^ diffCN // …back to the current value: inertial swallow
+	repl := diffPN & diffCN    // …to a third state: replace the pending edge
+	fresh := diffCN &^ hp      // no pending event and a new target: schedule
+	if remove := cancel | repl; remove != 0 {
+		tb.removePending(f, remove)
+	}
+	if add := repl | fresh; add != 0 {
+		s := int((now + tb.delays[f]) & tb.ringMod)
+		idx := s*tb.n + f
+		if tb.ring[idx] == 0 {
+			tb.buckets[s] = append(tb.buckets[s], int32(f))
+			tb.occ[f*tb.occW+s>>6] |= 1 << uint(s&63)
+			tb.live++
+		}
+		tb.ring[idx] |= add
+		tb.pend[2*f+1] = (pv &^ add) | (nv & add)
+	}
+	tb.pend[2*f] = (hp &^ cancel) | fresh
+}
+
+// removePending clears the given lanes of gate f from every calendar slot
+// they occupy (eager cancellation). The occupancy bitmap keeps this to the
+// handful of distinct pending times a gate actually has.
+func (tb *TimedBatch) removePending(f int, lanes uint64) {
+	base := f * tb.occW
+	n := tb.n
+	for w := 0; w < tb.occW; w++ {
+		slots := tb.occ[base+w]
+		for slots != 0 {
+			b := bits.TrailingZeros64(slots)
+			slots &= slots - 1
+			idx := (w<<6+b)*n + f
+			old := tb.ring[idx]
+			nr := old &^ lanes
+			if nr == old {
+				continue
+			}
+			tb.ring[idx] = nr
+			if nr == 0 {
+				tb.occ[base+w] &^= 1 << uint(b)
+				tb.live--
+			}
+		}
+	}
+}
+
+// addToggles counts one toggle in each lane of mask for gate g: a
+// ripple-carry add of the mask into the per-gate bit-plane counters. The
+// per-lane aggregates (Any, Events) are recovered from the planes in one
+// sequential pass at the end of RunCycles instead of per event.
+func (tb *TimedBatch) addToggles(g int, mask uint64) {
+	n := tb.res.nGates
+	carry := mask
+	for idx := g; carry != 0; idx += n {
+		if idx >= len(tb.res.planes) {
+			tb.res.planes = append(tb.res.planes, make([]uint64, n)...)
+			tb.res.levels++
+		}
+		w := tb.res.planes[idx]
+		tb.res.planes[idx] = w ^ carry
+		carry &= w
+	}
+}

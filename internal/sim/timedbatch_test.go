@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+	"repro/internal/netlist"
+)
+
+// xorshiftVectors builds deterministic pseudo-random input vectors.
+func xorshiftVectors(n, width int, seed uint64) [][]bool {
+	out := make([][]bool, n)
+	x := seed*2862933555777941757 + 3037000493
+	for i := range out {
+		v := make([]bool, width)
+		for j := range v {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			v[j] = x&1 != 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestTimedBatchDifferentialScalar is the engine's core contract: for the
+// unit, fanout, and table delay models, every lane of a TimedBatch run is
+// bit-identical — toggle counts, settle time, event count — to the scalar
+// event-driven simulator on that lane's vector pair. (The zero model is
+// excluded by design: scalar RunCycle serves it through the glitch-free
+// runZero path, which the BitParallel engine mirrors; TimedBatch models
+// the runTimed path only. power.Evaluator dispatches between them.)
+func TestTimedBatchDifferentialScalar(t *testing.T) {
+	models := []delay.Model{delay.Unit{}, delay.FanoutLoaded{}, delay.StandardTable()}
+	for _, name := range []string{"C432", "C880"} {
+		c := bench.MustGenerate(name)
+		for _, m := range models {
+			t.Run(name+"/"+m.Name(), func(t *testing.T) {
+				diffTimedBatch(t, c, m, 64, 7)
+				diffTimedBatch(t, c, m, 13, 11) // partial batch: unused lanes stay inert
+			})
+		}
+	}
+}
+
+// diffTimedBatch compares one packed batch against the scalar oracle.
+func diffTimedBatch(t *testing.T, c *netlist.Circuit, m delay.Model, lanes int, seed uint64) {
+	t.Helper()
+	s := New(c, m)
+	if s.ZeroDelay() {
+		t.Fatalf("model %s unexpectedly zero-delay", m.Name())
+	}
+	tb := NewTimedBatchDelays(c, s.DelaysPS())
+	v1s := xorshiftVectors(lanes, c.NumInputs(), seed)
+	v2s := xorshiftVectors(lanes, c.NumInputs(), seed+1)
+	in1, err := tb.PackInputs(v1s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := tb.PackInputs(v2s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := tb.RunCycles(in1, in2)
+	var laneToggles []int32
+	for l := 0; l < lanes; l++ {
+		want := s.RunCycle(v1s[l], v2s[l])
+		laneToggles = br.Toggles(l, laneToggles)
+		for g := range want.Toggles {
+			if laneToggles[g] != want.Toggles[g] {
+				t.Fatalf("%s lane %d gate %d (%s): batch %d toggles, scalar %d",
+					m.Name(), l, g, c.Gates[g].Name, laneToggles[g], want.Toggles[g])
+			}
+			if got := br.Count(g, l); got != want.Toggles[g] {
+				t.Fatalf("Count(%d,%d) = %d, want %d", g, l, got, want.Toggles[g])
+			}
+			if any := br.Any[g]>>uint(l)&1 == 1; any != (want.Toggles[g] > 0) {
+				t.Fatalf("Any[%d] lane %d = %v, toggles %d", g, l, any, want.Toggles[g])
+			}
+		}
+		if br.SettleTime[l] != want.SettleTime {
+			t.Fatalf("%s lane %d: settle %d ps, scalar %d ps", m.Name(), l, br.SettleTime[l], want.SettleTime)
+		}
+		if br.Events[l] != want.Events {
+			t.Fatalf("%s lane %d: %d events, scalar %d", m.Name(), l, br.Events[l], want.Events)
+		}
+	}
+	// Unused lanes must be completely inert.
+	for l := lanes; l < 64; l++ {
+		if br.Events[l] != 0 || br.SettleTime[l] != 0 {
+			t.Fatalf("unused lane %d: %d events, settle %d", l, br.Events[l], br.SettleTime[l])
+		}
+	}
+}
+
+// TestTimedBatchReuse runs the same engine instance across several batches
+// and cross-checks against a fresh engine: the reusable event structures
+// must be fully self-cleaning between cycles.
+func TestTimedBatchReuse(t *testing.T) {
+	c := bench.MustGenerate("C432")
+	tb := NewTimedBatch(c, delay.FanoutLoaded{})
+	for round := uint64(0); round < 5; round++ {
+		v1s := xorshiftVectors(64, c.NumInputs(), 100+round)
+		v2s := xorshiftVectors(64, c.NumInputs(), 200+round)
+		in1, _ := tb.PackInputs(v1s)
+		in2, _ := tb.PackInputs(v2s)
+		got := tb.RunCycles(in1, in2)
+		fresh := NewTimedBatch(c, delay.FanoutLoaded{})
+		want := fresh.RunCycles(in1, in2)
+		if got.SettleTime != want.SettleTime || got.Events != want.Events {
+			t.Fatalf("round %d: reused engine diverged from fresh engine", round)
+		}
+		for g := range got.Any {
+			if got.Any[g] != want.Any[g] {
+				t.Fatalf("round %d gate %d: Any %x vs %x", round, g, got.Any[g], want.Any[g])
+			}
+			for l := 0; l < 64; l++ {
+				if got.Count(g, l) != want.Count(g, l) {
+					t.Fatalf("round %d gate %d lane %d: count %d vs %d",
+						round, g, l, got.Count(g, l), want.Count(g, l))
+				}
+			}
+		}
+	}
+}
+
+// fixedDelays is a test delay model with explicit per-gate delays, for
+// constructing exact inertial scenarios.
+type fixedDelays []int64
+
+func (fixedDelays) Name() string                        { return "fixed" }
+func (d fixedDelays) Assign(c *netlist.Circuit) []int64 { return append([]int64(nil), d...) }
+
+// hazardCircuit builds y = AND(a, NOT(a)): a rising a creates a pulse at
+// y's inputs that is notDelay long; whether y glitches depends on whether
+// the pulse survives y's inertial delay.
+func hazardCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("hazard")
+	a := b.Input("a")
+	na := b.Gate(netlist.Not, "na", a)
+	y := b.Gate(netlist.And, "y", a, na)
+	b.Output(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestTimedInertialSemantics pins down the timed simulator's inertial
+// rules with hand-computed cases — pulse swallowing, simultaneous input
+// edges, and pending-event replacement with stale queue entries — on both
+// the scalar path and the lane-packed engine (which must agree with the
+// scalar result in every lane).
+func TestTimedInertialSemantics(t *testing.T) {
+	type peak struct {
+		gate    string
+		toggles int32
+	}
+	cases := []struct {
+		name   string
+		build  func(t *testing.T) *netlist.Circuit
+		delays func(c *netlist.Circuit) fixedDelays // indexed by gate name
+		v1, v2 []bool
+		want   []peak
+		events int
+		settle int64
+	}{
+		{
+			// The NOT falls 2 ps after a rises; the AND's own delay is 5 ps,
+			// so the 2 ps input pulse is shorter than the gate's inertia and
+			// is swallowed: y never toggles.
+			name:  "pulse-swallowed",
+			build: hazardCircuit,
+			delays: func(c *netlist.Circuit) fixedDelays {
+				d := make(fixedDelays, c.NumGates())
+				d[c.GateIndex("na")] = 2
+				d[c.GateIndex("y")] = 5
+				return d
+			},
+			v1:     []bool{false},
+			v2:     []bool{true},
+			want:   []peak{{"na", 1}, {"y", 0}},
+			events: 2, // a toggles, na toggles; the y pulse is cancelled
+			settle: 2,
+		},
+		{
+			// Same hazard with a slow inverter: the 6 ps pulse outlives the
+			// AND's 5 ps delay, so y glitches up and back down.
+			name:  "pulse-propagates",
+			build: hazardCircuit,
+			delays: func(c *netlist.Circuit) fixedDelays {
+				d := make(fixedDelays, c.NumGates())
+				d[c.GateIndex("na")] = 6
+				d[c.GateIndex("y")] = 5
+				return d
+			},
+			v1:     []bool{false},
+			v2:     []bool{true},
+			want:   []peak{{"na", 1}, {"y", 2}},
+			events: 4,
+			settle: 11, // y falls at t = 6 + 5
+		},
+		{
+			// Both XOR inputs flip at t = 0. The delta-cycle rule applies
+			// both edges before re-evaluating, so the XOR sees them together
+			// and never schedules an event.
+			name: "simultaneous-edges-cancel",
+			build: func(t *testing.T) *netlist.Circuit {
+				t.Helper()
+				b := netlist.NewBuilder("simul")
+				a := b.Input("a")
+				bb := b.Input("b")
+				y := b.Gate(netlist.Xor, "y", a, bb)
+				b.Output(y)
+				c, err := b.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c
+			},
+			delays: func(c *netlist.Circuit) fixedDelays {
+				d := make(fixedDelays, c.NumGates())
+				d[c.GateIndex("y")] = 3
+				return d
+			},
+			v1:     []bool{false, false},
+			v2:     []bool{true, true},
+			want:   []peak{{"y", 0}},
+			events: 2, // the two input toggles only
+			settle: 0,
+		},
+		{
+			// Staggered triple-XOR: x = XOR(a, b1, b2) with b1, b2 buffered
+			// copies of a at 1 and 2 ps, x at 5 ps. a rising schedules x up
+			// for t = 5; at t = 1 the b1 edge cancels it (inertial swallow,
+			// the queued t = 5 entry goes stale); at t = 2 the b2 edge
+			// schedules x up again for t = 7. Exactly one x toggle, at 7 ps
+			// — wrong lazy-cancellation bookkeeping fires the stale t = 5
+			// entry instead.
+			name: "stale-entry-replacement",
+			build: func(t *testing.T) *netlist.Circuit {
+				t.Helper()
+				b := netlist.NewBuilder("stale")
+				a := b.Input("a")
+				b1 := b.Gate(netlist.Buf, "b1", a)
+				b2 := b.Gate(netlist.Buf, "b2", a)
+				x := b.Gate(netlist.Xor, "x", a, b1, b2)
+				b.Output(x)
+				c, err := b.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c
+			},
+			delays: func(c *netlist.Circuit) fixedDelays {
+				d := make(fixedDelays, c.NumGates())
+				d[c.GateIndex("b1")] = 1
+				d[c.GateIndex("b2")] = 2
+				d[c.GateIndex("x")] = 5
+				return d
+			},
+			v1:     []bool{false},
+			v2:     []bool{true},
+			want:   []peak{{"b1", 1}, {"b2", 1}, {"x", 1}},
+			events: 4,
+			settle: 7,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.build(t)
+			model := tc.delays(c)
+			s := New(c, model)
+			res := s.RunCycle(tc.v1, tc.v2)
+			for _, w := range tc.want {
+				if got := res.Toggles[c.GateIndex(w.gate)]; got != w.toggles {
+					t.Errorf("scalar %s: %d toggles, want %d", w.gate, got, w.toggles)
+				}
+			}
+			if res.Events != tc.events {
+				t.Errorf("scalar events = %d, want %d", res.Events, tc.events)
+			}
+			if res.SettleTime != tc.settle {
+				t.Errorf("scalar settle = %d, want %d", res.SettleTime, tc.settle)
+			}
+
+			// The same pair replicated across all 64 lanes of the batch
+			// engine must reproduce the scalar outcome in every lane.
+			tb := NewTimedBatchDelays(c, s.DelaysPS())
+			v1s := make([][]bool, 64)
+			v2s := make([][]bool, 64)
+			for l := range v1s {
+				v1s[l], v2s[l] = tc.v1, tc.v2
+			}
+			in1, _ := tb.PackInputs(v1s)
+			in2, _ := tb.PackInputs(v2s)
+			br := tb.RunCycles(in1, in2)
+			for l := 0; l < 64; l++ {
+				for _, w := range tc.want {
+					if got := br.Count(c.GateIndex(w.gate), l); got != w.toggles {
+						t.Fatalf("batch lane %d %s: %d toggles, want %d", l, w.gate, got, w.toggles)
+					}
+				}
+				if br.Events[l] != tc.events || br.SettleTime[l] != tc.settle {
+					t.Fatalf("batch lane %d: events %d settle %d, want %d/%d",
+						l, br.Events[l], br.SettleTime[l], tc.events, tc.settle)
+				}
+			}
+		})
+	}
+}
+
+// TestTimedBatchGCDNormalization checks that time normalization divides
+// out the delay GCD internally but reports settle times in ps.
+func TestTimedBatchGCDNormalization(t *testing.T) {
+	c := chain(t, 3)
+	tb := NewTimedBatch(c, delay.Unit{Delay: 100})
+	if tb.GCDps() != 100 {
+		t.Fatalf("GCDps = %d, want 100", tb.GCDps())
+	}
+	in1, _ := tb.PackInputs([][]bool{{false}})
+	in2, _ := tb.PackInputs([][]bool{{true}})
+	br := tb.RunCycles(in1, in2)
+	if br.SettleTime[0] != 300 {
+		t.Fatalf("settle = %d ps, want 300", br.SettleTime[0])
+	}
+}
+
+// TestResultCopyToggles is the regression test for the Result.Toggles
+// aliasing hazard: the slice returned by RunCycle is simulator-owned and
+// rewritten by the next cycle; CopyToggles must produce a stable snapshot.
+func TestResultCopyToggles(t *testing.T) {
+	c := chain(t, 4)
+	s := New(c, delay.Unit{})
+	res := s.RunCycle([]bool{false}, []bool{true})
+	snap := res.CopyToggles(nil)
+	aliased := res.Toggles
+	// A quiet cycle rewrites the shared buffer to all zeros.
+	if r2 := s.RunCycle([]bool{true}, []bool{true}); r2.Events != 0 {
+		t.Fatalf("expected quiet cycle, got %d events", r2.Events)
+	}
+	sawOverwrite := false
+	for g := range snap {
+		if snap[g] != 1 { // every gate of the inverter chain toggles once
+			t.Fatalf("snapshot gate %d = %d, want 1", g, snap[g])
+		}
+		if aliased[g] != snap[g] {
+			sawOverwrite = true
+		}
+	}
+	if !sawOverwrite {
+		t.Fatal("Result.Toggles did not alias simulator scratch — the CopyToggles contract is stale")
+	}
+	// Reusing a big-enough dst must not allocate a new backing array.
+	dst := make([]int32, 0, c.NumGates())
+	out := s.RunCycle([]bool{true}, []bool{false}).CopyToggles(dst)
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("CopyToggles ignored reusable dst")
+	}
+}

@@ -10,11 +10,11 @@ import (
 
 // evalEngine is the shared simulation backend of Build and
 // StreamSource.SampleBatch: it evaluates a slice of vector pairs into a
-// slice of cycle powers across a bounded worker pool, using the 64-lane
-// bit-parallel settle path for zero-delay models and the event-driven
-// simulator otherwise. Each worker slot owns a cloned evaluator, so the
-// lane-packed engine (and its per-clone scratch state) is built once and
-// reused across calls.
+// slice of cycle powers across a bounded worker pool, 64 pairs per
+// lane-packed pass — the bit-parallel settle engine for zero-delay models,
+// the word-level event-driven TimedBatch for every timed one. Each worker
+// slot owns a cloned evaluator, so the lane-packed engine (and its
+// per-clone scratch state) is built once and reused across calls.
 //
 // Determinism: powers[i] depends only on pairs[i], and every write lands
 // at its own index, so the output is bit-identical for any worker count
@@ -82,34 +82,30 @@ func (e *evalEngine) evaluate(pairs []Pair, powers []float64) error {
 	return nil
 }
 
-// evalChunk evaluates one worker's contiguous share. Zero-delay models go
-// through the bit-parallel path, 64 pairs per settle pass; the results are
-// bit-identical to per-pair CyclePowerMW calls (power.ZeroDelayBatchMW
-// guarantees it), so the two branches are interchangeable.
+// evalChunk evaluates one worker's contiguous share, 64 pairs per
+// lane-packed pass: every delay model goes through power.BatchMW (the
+// bit-parallel settle engine under zero delay, the event-driven TimedBatch
+// otherwise). Both engines guarantee results bit-identical to per-pair
+// CyclePowerMW calls, so that scalar path survives only as the
+// verification oracle (differential tests, StreamSource error recovery).
 func evalChunk(ev *power.Evaluator, pairs []Pair, powers []float64) error {
-	if ev.ZeroDelay() {
-		v1s := make([][]bool, 0, 64)
-		v2s := make([][]bool, 0, 64)
-		for base := 0; base < len(pairs); base += 64 {
-			end := base + 64
-			if end > len(pairs) {
-				end = len(pairs)
-			}
-			v1s, v2s = v1s[:0], v2s[:0]
-			for i := base; i < end; i++ {
-				v1s = append(v1s, pairs[i].V1)
-				v2s = append(v2s, pairs[i].V2)
-			}
-			batch, err := ev.ZeroDelayBatchMW(v1s, v2s)
-			if err != nil {
-				return fmt.Errorf("vectorgen: bit-parallel evaluation: %w", err)
-			}
-			copy(powers[base:end], batch)
+	v1s := make([][]bool, 0, 64)
+	v2s := make([][]bool, 0, 64)
+	for base := 0; base < len(pairs); base += 64 {
+		end := base + 64
+		if end > len(pairs) {
+			end = len(pairs)
 		}
-		return nil
-	}
-	for i := range pairs {
-		powers[i] = ev.CyclePowerMW(pairs[i].V1, pairs[i].V2)
+		v1s, v2s = v1s[:0], v2s[:0]
+		for i := base; i < end; i++ {
+			v1s = append(v1s, pairs[i].V1)
+			v2s = append(v2s, pairs[i].V2)
+		}
+		batch, err := ev.BatchMW(v1s, v2s)
+		if err != nil {
+			return fmt.Errorf("vectorgen: lane-packed evaluation: %w", err)
+		}
+		copy(powers[base:end], batch)
 	}
 	return nil
 }

@@ -98,6 +98,44 @@ func TestPopulationSampleBatchMatchesScalar(t *testing.T) {
 	}
 }
 
+// TestTimedDifferentialBatchVsScalarC880 is the scalar-vs-batch
+// differential for the lane-packed *timed* simulator on a non-trivial
+// circuit and delay model (C880, fanout-loaded), run multi-worker so the
+// CI -race step exercises the TimedBatch lane-mask bookkeeping through
+// concurrently running per-worker engines.
+func TestTimedDifferentialBatchVsScalarC880(t *testing.T) {
+	c := bench.MustGenerate("C880")
+	eval := power.NewEvaluator(c, delay.FanoutLoaded{}, power.Params{})
+	gen := HighActivity{N: c.NumInputs(), MinActivity: 0.3}
+	scalarSrc, err := NewStreamSource(eval, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const units = 512
+	want := make([]float64, units)
+	rng := stats.NewRNG(29)
+	for i := range want {
+		want[i] = scalarSrc.SamplePower(rng) // scalar oracle: CyclePowerMW per pair
+	}
+	for _, workers := range []int{1, 4} {
+		src, err := NewStreamSource(eval, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.Workers = workers
+		got := make([]float64, units)
+		src.SampleBatch(stats.NewRNG(29), got)
+		if err := src.BatchErr(); err != nil {
+			t.Fatalf("workers=%d: batch error %v", workers, err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: unit %d: timed batch %v != scalar %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestEvalEngineLengthMismatch: the shared engine reports slice-shape
 // errors instead of panicking or silently truncating.
 func TestEvalEngineLengthMismatch(t *testing.T) {

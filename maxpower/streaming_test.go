@@ -175,10 +175,10 @@ func TestSpecValidation(t *testing.T) {
 		{Kind: "nonsense"},
 		{Kind: maxpower.PopHighActivity, Activity: -0.1},
 		{Kind: maxpower.PopHighActivity, Activity: 1.0001},
-		{Kind: maxpower.PopConstrained},                               // needs Activity or Probs
-		{Kind: maxpower.PopConstrained, Activity: 1.5},                //
-		{Kind: maxpower.PopConstrained, Probs: []float64{0.5, -0.2}},  //
-		{Kind: maxpower.PopConstrained, Probs: []float64{0.5, 1.01}},  //
+		{Kind: maxpower.PopConstrained},                              // needs Activity or Probs
+		{Kind: maxpower.PopConstrained, Activity: 1.5},               //
+		{Kind: maxpower.PopConstrained, Probs: []float64{0.5, -0.2}}, //
+		{Kind: maxpower.PopConstrained, Probs: []float64{0.5, 1.01}}, //
 	}
 	for i, spec := range bad {
 		if err := spec.Validate(); err == nil {
