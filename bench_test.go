@@ -232,7 +232,10 @@ func serviceRoundTrip(b *testing.B, url string, req service.JobRequest) {
 // population for every iteration.
 func BenchmarkServiceJobSubmit(b *testing.B) {
 	newService := func() (*httptest.Server, *service.Manager) {
-		mgr := service.NewManager(service.ManagerConfig{Workers: 2, CacheSize: 4})
+		mgr, err := service.NewManager(service.ManagerConfig{Workers: 2, CacheSize: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
 		return httptest.NewServer(service.NewServer(mgr)), mgr
 	}
 	req := service.JobRequest{

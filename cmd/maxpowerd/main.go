@@ -5,10 +5,17 @@
 // reused across jobs through an LRU cache; process counters are on
 // /debug/vars.
 //
+// With -data the daemon is crash-safe: every job transition and
+// per-hyper-sample checkpoint is journaled (fsync'd) to
+// <dir>/journal.jsonl, and a restarted daemon replays the journal —
+// finished jobs come back with their results, interrupted jobs resume
+// from their last checkpoint and converge to bit-identical estimates.
+//
 // Usage:
 //
 //	maxpowerd [-addr :8321] [-workers 4] [-queue 64] [-cache 16]
-//	          [-sim-workers 0] [-drain 30s]
+//	          [-sim-workers 0] [-drain 30s] [-data DIR]
+//	          [-max-job-duration 0] [-retain-jobs 512] [-retain-ttl 1h]
 package main
 
 import (
@@ -33,24 +40,41 @@ func main() {
 		cacheSize  = flag.Int("cache", 16, "population LRU capacity (entries)")
 		simWorkers = flag.Int("sim-workers", 0, "per-job simulation parallelism (0 = NumCPU)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for running jobs")
+		dataDir    = flag.String("data", "", "data directory for the durable job journal (empty = in-memory only)")
+		maxJobDur  = flag.Duration("max-job-duration", 0, "wall-time cap per job; jobs keep their partial estimate (0 = unlimited)")
+		retainJobs = flag.Int("retain-jobs", 0, "max finished jobs kept in the table (0 = default 512, -1 = unlimited)")
+		retainTTL  = flag.Duration("retain-ttl", 0, "finished-job retention TTL (0 = default 1h, -1ns or any negative = no TTL)")
 	)
 	flag.Parse()
 
-	mgr := service.NewManager(service.ManagerConfig{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cacheSize,
-		SimWorkers: *simWorkers,
+	mgr, err := service.NewManager(service.ManagerConfig{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		SimWorkers:     *simWorkers,
+		DataDir:        *dataDir,
+		MaxJobDuration: *maxJobDur,
+		RetainJobs:     *retainJobs,
+		RetainFor:      *retainTTL,
 	})
+	if err != nil {
+		log.Fatalf("manager: %v", err)
+	}
 	mgr.OnProgress = func(id string, p service.Progress) {
 		log.Printf("%s: k=%d estimate=%.3f mW relerr=%.4f units=%d",
 			id, p.HyperSamples, p.Estimate, p.RelErr, p.Units)
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           service.NewServer(mgr),
+		Addr:    *addr,
+		Handler: service.NewServer(mgr),
+		// Edge protection: a stalled or malicious client cannot hold a
+		// connection (and its goroutine) open indefinitely. Handlers are
+		// all fast — jobs run asynchronously — so tight caps are safe.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -59,6 +83,9 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("maxpowerd listening on %s", *addr)
+	if *dataDir != "" {
+		log.Printf("journaling to %s", *dataDir)
+	}
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/maxpower"
+)
+
+// TestKillRestartRecovery is the full-stack crash drill: build the real
+// maxpowerd binary, run it with a journal, SIGKILL it (no cleanup
+// whatsoever) in the middle of an estimation job, relaunch it over the
+// same data dir, and require the job to finish with results
+// bit-identical to a direct library run of the same workload.
+func TestKillRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary integration test; skipped in -short")
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "maxpowerd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build maxpowerd: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(tmp, "data")
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	daemon := launch(t, bin, addr, dataDir)
+
+	// A deterministic job long enough to die in the middle of: ε is
+	// unreachable, so it always runs the full pinned 400 hyper-samples.
+	jobBody := map[string]any{
+		"circuit":    "C432",
+		"population": map[string]any{"size": 2000, "seed": 5},
+		"options": map[string]any{
+			"seed": 13, "epsilon": 0.0001, "max_hyper_samples": 400,
+		},
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, base+"/v1/jobs", jobBody, &submitted)
+	if submitted.ID == "" {
+		t.Fatal("no job id returned")
+	}
+
+	// Kill -9 once at least 3 hyper-samples are checkpointed.
+	waitProgress(t, base, submitted.ID, 3)
+	if err := daemon.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	daemon.Wait()
+
+	relaunched := launch(t, bin, addr, dataDir)
+	defer func() {
+		relaunched.Process.Signal(syscall.SIGTERM)
+		relaunched.Wait()
+	}()
+
+	st := waitState(t, base, submitted.ID)
+	if st.State != "done" {
+		t.Fatalf("recovered job state = %s (%s), want done", st.State, st.Error)
+	}
+
+	var res struct {
+		Estimate     float64 `json:"estimate_mw"`
+		CILow        float64 `json:"ci_low_mw"`
+		CIHigh       float64 `json:"ci_high_mw"`
+		RelErr       float64 `json:"rel_err"`
+		HyperSamples int     `json:"hyper_samples"`
+		Units        int     `json:"units_simulated"`
+		Converged    bool    `json:"converged"`
+		ObservedMax  float64 `json:"observed_max_mw"`
+		SigmaSq      float64 `json:"sigma_sq"`
+	}
+	getJSON(t, base+"/v1/jobs/"+submitted.ID+"/result", &res)
+
+	// The same workload straight through the library, uninterrupted.
+	c, err := maxpower.Circuit("C432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := maxpower.BuildPopulation(c, maxpower.PopulationSpec{Size: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := maxpower.Estimate(pop, maxpower.EstimateOptions{Seed: 13, Epsilon: 0.0001, MaxHyperSamples: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != direct.Estimate || res.CILow != direct.CILow || res.CIHigh != direct.CIHigh ||
+		res.RelErr != direct.RelErr || res.HyperSamples != direct.HyperSamples ||
+		res.Units != direct.Units || res.Converged != direct.Converged ||
+		res.ObservedMax != direct.ObservedMax || res.SigmaSq != direct.SigmaSq {
+		t.Errorf("recovered result diverged from direct run:\n  daemon %+v\n  direct estimate=%v ci=[%v,%v] relerr=%v k=%d units=%d converged=%v max=%v sigsq=%v",
+			res, direct.Estimate, direct.CILow, direct.CIHigh, direct.RelErr,
+			direct.HyperSamples, direct.Units, direct.Converged, direct.ObservedMax, direct.SigmaSq)
+	}
+
+	// The restarted daemon reports the recovery in its stats.
+	var stats struct {
+		JobsRecovered int64 `json:"jobs_recovered"`
+	}
+	getJSON(t, base+"/v1/stats", &stats)
+	if stats.JobsRecovered != 1 {
+		t.Errorf("jobs_recovered = %d, want 1", stats.JobsRecovered)
+	}
+}
+
+// launch starts the daemon and waits for /healthz.
+func launch(t *testing.T, bin, addr, dataDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-data", dataDir, "-workers", "1")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatal("daemon never became healthy")
+	return nil
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+type jobState struct {
+	State    string `json:"state"`
+	Error    string `json:"error"`
+	Progress *struct {
+		HyperSamples int `json:"hyper_samples"`
+	} `json:"progress"`
+}
+
+// waitProgress polls until the job reports at least k hyper-samples.
+func waitProgress(t *testing.T, base, id string, k int) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var st jobState
+		getJSON(t, base+"/v1/jobs/"+id, &st)
+		if st.Progress != nil && st.Progress.HyperSamples >= k {
+			return
+		}
+		if st.State == "done" || st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job finished (%s) before it could be killed at k=%d", st.State, k)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job never reached %d hyper-samples", k)
+}
+
+// waitState polls until the job reaches a terminal state. Transient
+// request errors are tolerated (the daemon may still be restarting).
+func waitState(t *testing.T, base, id string) jobState {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err == nil {
+			var st jobState
+			dec := json.NewDecoder(resp.Body)
+			derr := dec.Decode(&st)
+			resp.Body.Close()
+			if derr == nil && (st.State == "done" || st.State == "failed" || st.State == "cancelled") {
+				return st
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("job never reached a terminal state after restart")
+	return jobState{}
+}
+
+func postJSON(t *testing.T, url string, body, out any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("POST %s: %d, body %s", url, resp.StatusCode, buf.String())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("GET %s: %d, body %s", url, resp.StatusCode, buf.String())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}

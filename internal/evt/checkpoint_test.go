@@ -1,0 +1,178 @@
+package evt
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// statisticalFields extracts the deterministic part of a Result — the
+// fields the checkpoint contract promises are bit-identical across an
+// interruption (everything except Trace and wall-clock timings).
+type statisticalFields struct {
+	Estimate, CILow, CIHigh, RelErr float64
+	SigmaSq, SigmaSqLow, SigmaSqHi  float64
+	ObservedMax                     float64
+	HyperSamples, Units             int
+	Converged                       bool
+}
+
+func statFields(r Result) statisticalFields {
+	return statisticalFields{
+		Estimate: r.Estimate, CILow: r.CILow, CIHigh: r.CIHigh, RelErr: r.RelErr,
+		SigmaSq: r.SigmaSq, SigmaSqLow: r.SigmaSqLow, SigmaSqHi: r.SigmaSqHi,
+		ObservedMax: r.ObservedMax, HyperSamples: r.HyperSamples, Units: r.Units,
+		Converged: r.Converged,
+	}
+}
+
+// TestResumeBitIdenticalAtEveryCheckpoint runs once uninterrupted while
+// recording every checkpoint, then resumes a fresh estimator from each of
+// them in turn and demands the exact same final Result — the contract the
+// service's crash recovery is built on.
+func TestResumeBitIdenticalAtEveryCheckpoint(t *testing.T) {
+	pop := betaLikePopulation(20000, 31)
+	cfg := Config{Epsilon: 0.004, MaxHyperSamples: 24}
+
+	var cps []Checkpoint
+	cfgRec := cfg
+	cfgRec.OnCheckpoint = func(cp Checkpoint) { cps = append(cps, cp) }
+	est, err := New(pop, cfgRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := est.Run(stats.NewRNG(7))
+	if len(cps) != want.HyperSamples {
+		t.Fatalf("got %d checkpoints for %d hyper-samples", len(cps), want.HyperSamples)
+	}
+	if want.HyperSamples < 3 {
+		t.Fatalf("run too short to exercise resume: k=%d", want.HyperSamples)
+	}
+
+	for i := range cps {
+		cp := cps[i]
+		if err := cp.Validate(); err != nil {
+			t.Fatalf("checkpoint %d invalid: %v", i, err)
+		}
+		rcfg := cfg
+		rcfg.Resume = &cp
+		rest, err := New(pop, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Any rng seed: Resume must overwrite its state entirely.
+		got := rest.Run(stats.NewRNG(uint64(1000 + i)))
+		if statFields(got) != statFields(want) {
+			t.Errorf("resume from checkpoint %d diverged:\n got  %+v\n want %+v",
+				i+1, statFields(got), statFields(want))
+		}
+		if wantTrace := want.HyperSamples - (i + 1); len(got.Trace) != wantTrace {
+			t.Errorf("resume from checkpoint %d: trace has %d entries, want %d (post-resume only)",
+				i+1, len(got.Trace), wantTrace)
+		}
+	}
+}
+
+// TestResumeFromConvergedCheckpoint: a crash between the final checkpoint
+// and the terminal record resumes straight to the converged result
+// without drawing any new hyper-sample.
+func TestResumeFromConvergedCheckpoint(t *testing.T) {
+	pop := betaLikePopulation(20000, 31)
+	cfg := Config{Epsilon: 0.02, MaxHyperSamples: 100}
+
+	var last Checkpoint
+	cfgRec := cfg
+	cfgRec.OnCheckpoint = func(cp Checkpoint) { last = cp }
+	est, _ := New(pop, cfgRec)
+	want := est.Run(stats.NewRNG(5))
+	if !want.Converged {
+		t.Fatalf("reference run did not converge (k=%d)", want.HyperSamples)
+	}
+
+	rcfg := cfg
+	rcfg.Resume = &last
+	rest, _ := New(pop, rcfg)
+	got := rest.Run(stats.NewRNG(99))
+	if statFields(got) != statFields(want) {
+		t.Errorf("converged-checkpoint resume diverged:\n got  %+v\n want %+v",
+			statFields(got), statFields(want))
+	}
+	if len(got.Trace) != 0 {
+		t.Errorf("converged-checkpoint resume drew %d new hyper-samples, want 0", len(got.Trace))
+	}
+}
+
+// TestCheckpointConsumesNoRandomness: a run with OnCheckpoint wired is
+// bit-identical to one without (same promise the Observer makes).
+func TestCheckpointConsumesNoRandomness(t *testing.T) {
+	pop := betaLikePopulation(20000, 31)
+	base, _ := New(pop, Config{Epsilon: 0.01, MaxHyperSamples: 50})
+	want := base.Run(stats.NewRNG(3))
+
+	observed, _ := New(pop, Config{
+		Epsilon: 0.01, MaxHyperSamples: 50,
+		OnCheckpoint: func(Checkpoint) {},
+	})
+	got := observed.Run(stats.NewRNG(3))
+	if statFields(got) != statFields(want) {
+		t.Error("OnCheckpoint changed the run's result")
+	}
+}
+
+// TestCheckpointValidate rejects states a run cannot have produced.
+func TestCheckpointValidate(t *testing.T) {
+	good := Checkpoint{Estimates: []float64{1, 2}, Units: 600, ObservedMax: 2.5, RNG: [4]uint64{1, 2, 3, 4}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good checkpoint rejected: %v", err)
+	}
+	bad := []Checkpoint{
+		{},
+		{Estimates: []float64{math.NaN()}, Units: 1, ObservedMax: 1, RNG: [4]uint64{1}},
+		{Estimates: []float64{math.Inf(1)}, Units: 1, ObservedMax: 1, RNG: [4]uint64{1}},
+		{Estimates: []float64{1, 2}, Units: 1, ObservedMax: 1, RNG: [4]uint64{1}},
+		{Estimates: []float64{1}, Units: 1, ObservedMax: math.Inf(-1), RNG: [4]uint64{1}},
+		{Estimates: []float64{1}, Units: 1, ObservedMax: 1, RNG: [4]uint64{}},
+	}
+	for i, cp := range bad {
+		if err := cp.Validate(); err == nil {
+			t.Errorf("bad checkpoint %d accepted: %+v", i, cp)
+		}
+	}
+	// Config.Validate covers Resume too.
+	if err := (Config{Resume: &Checkpoint{}}).Validate(); err == nil {
+		t.Error("Config with invalid Resume accepted")
+	}
+}
+
+// TestResumeCancelledImmediately: resuming under an already-cancelled
+// context returns the checkpointed state as the best-so-far result.
+func TestResumeCancelledImmediately(t *testing.T) {
+	pop := betaLikePopulation(20000, 31)
+	cfg := Config{Epsilon: 1e-9, MaxHyperSamples: 6}
+
+	var cps []Checkpoint
+	cfgRec := cfg
+	cfgRec.OnCheckpoint = func(cp Checkpoint) { cps = append(cps, cp) }
+	est, _ := New(pop, cfgRec)
+	est.Run(stats.NewRNG(11))
+	if len(cps) < 3 {
+		t.Fatalf("want ≥ 3 checkpoints, got %d", len(cps))
+	}
+
+	cp := cps[2] // k = 3: an interval exists
+	rcfg := cfg
+	rcfg.Resume = &cp
+	rest, _ := New(pop, rcfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got := rest.RunContext(ctx, stats.NewRNG(0))
+	if got.HyperSamples != 3 || got.Units != cp.Units {
+		t.Errorf("cancelled resume = k=%d units=%d, want k=3 units=%d",
+			got.HyperSamples, got.Units, cp.Units)
+	}
+	if got.Estimate == 0 {
+		t.Error("cancelled resume lost the checkpointed estimate")
+	}
+}

@@ -100,6 +100,58 @@ type ObserverFunc func(Progress)
 // HyperSampleDone implements Observer.
 func (f ObserverFunc) HyperSampleDone(p Progress) { f(p) }
 
+// Checkpoint is the resumable state of a run, captured after a completed
+// hyper-sample. The iterative procedure's entire memory between
+// hyper-samples is the list of per-hyper-sample estimates (the Student-t
+// stopping rule needs nothing else), the cumulative cost counters, and
+// the RNG state — so a run restored from a Checkpoint and continued with
+// the same Config and Source produces a Result whose statistical fields
+// (Estimate, CI, RelErr, HyperSamples, Units, Converged, SigmaSq*,
+// ObservedMax) are bit-identical to the uninterrupted run's. Only
+// Result.Trace (post-resume hyper-samples only) and the wall-clock
+// timings differ.
+//
+// The struct is JSON-serializable without precision loss: Go's float64
+// encoding round-trips exactly for finite values, and every field is
+// finite after at least one hyper-sample.
+type Checkpoint struct {
+	// Estimates are the per-hyper-sample estimates so far, in order.
+	Estimates []float64 `json:"estimates"`
+	// Units is the cumulative simulated-unit count (including retries).
+	Units int `json:"units"`
+	// ObservedMax is the largest unit power seen so far.
+	ObservedMax float64 `json:"observed_max"`
+	// RNG is the sampling generator's state after the last hyper-sample.
+	RNG [4]uint64 `json:"rng"`
+	// SimNS/FitNS carry the cumulative wall-time split (nanoseconds) so a
+	// resumed Result accounts for the whole job. Not deterministic.
+	SimNS int64 `json:"sim_ns,omitempty"`
+	FitNS int64 `json:"fit_ns,omitempty"`
+}
+
+// Validate rejects checkpoints that cannot have been produced by a run:
+// resuming from one would silently corrupt the estimate.
+func (cp *Checkpoint) Validate() error {
+	if len(cp.Estimates) == 0 {
+		return errors.New("evt: checkpoint has no hyper-sample estimates")
+	}
+	for i, v := range cp.Estimates {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("evt: checkpoint estimate %d is %v", i, v)
+		}
+	}
+	if cp.Units < len(cp.Estimates) {
+		return fmt.Errorf("evt: checkpoint units %d below hyper-sample count %d", cp.Units, len(cp.Estimates))
+	}
+	if math.IsNaN(cp.ObservedMax) || math.IsInf(cp.ObservedMax, 0) {
+		return fmt.Errorf("evt: checkpoint observed max is %v", cp.ObservedMax)
+	}
+	if cp.RNG == ([4]uint64{}) {
+		return errors.New("evt: checkpoint RNG state is all zero")
+	}
+	return nil
+}
+
 // Config parameterizes the estimator. The zero value is replaced by the
 // paper's settings via Defaults.
 type Config struct {
@@ -129,6 +181,18 @@ type Config struct {
 	// hyper-sample. Invoked synchronously; a slow observer slows the run
 	// but never changes its result.
 	Observer Observer
+	// Resume, when non-nil, continues an interrupted run from its last
+	// checkpoint instead of starting fresh: the per-hyper-sample estimates
+	// and cost counters are restored and RunContext's rng is overwritten
+	// with the checkpointed state. The Config and Source must be the same
+	// as the interrupted run's for the determinism guarantee to hold.
+	Resume *Checkpoint
+	// OnCheckpoint, when non-nil, receives the run's resumable state after
+	// every completed hyper-sample (after Observer). Invoked synchronously
+	// and consumes no randomness, so checkpointed and unobserved runs are
+	// bit-identical. The Checkpoint is a private copy the callback may
+	// retain or serialize.
+	OnCheckpoint func(Checkpoint)
 }
 
 // Defaults fills unset fields with the paper's values.
@@ -168,6 +232,11 @@ func (c Config) Validate() error {
 	}
 	if c.Confidence >= 1 {
 		return fmt.Errorf("evt: Confidence %v must be in (0,1)", c.Confidence)
+	}
+	if c.Resume != nil {
+		if err := c.Resume.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -377,6 +446,11 @@ func (e *Estimator) Run(rng *stats.RNG) Result {
 // far (Converged reports whether ε was actually reached). Useful when each
 // unit is an expensive live simulation (StreamSource against a large
 // design).
+//
+// When cfg.Resume is set, rng's state is overwritten with the
+// checkpoint's and the loop continues at hyper-sample len(Estimates)+1;
+// the statistical fields of the returned Result are bit-identical to
+// those of the uninterrupted run (Trace covers only the resumed portion).
 func (e *Estimator) RunContext(ctx context.Context, rng *stats.RNG) Result {
 	cfg := e.cfg
 	var (
@@ -384,9 +458,27 @@ func (e *Estimator) RunContext(ctx context.Context, rng *stats.RNG) Result {
 		estimates []float64
 	)
 	res.ObservedMax = math.Inf(-1)
-	for k := 1; k <= cfg.MaxHyperSamples; k++ {
+	if cp := cfg.Resume; cp != nil {
+		estimates = append(estimates, cp.Estimates...)
+		res.Units = cp.Units
+		res.ObservedMax = cp.ObservedMax
+		res.SimTime = time.Duration(cp.SimNS)
+		res.FitTime = time.Duration(cp.FitNS)
+		rng.SetState(cp.RNG)
+		if len(estimates) >= 2 {
+			// Recompute the interval the interrupted run last saw, so a
+			// checkpoint taken at (or past) the stopping point — a crash
+			// between the final checkpoint and the terminal record — resumes
+			// straight to the identical converged Result without drawing.
+			e.updateInterval(&res, estimates)
+			if res.Converged {
+				return res
+			}
+		}
+	}
+	for k := len(estimates) + 1; k <= cfg.MaxHyperSamples; k++ {
 		if ctx.Err() != nil {
-			return res
+			break
 		}
 		hs := e.HyperSample(rng)
 		res.Trace = append(res.Trace, hs)
@@ -397,8 +489,11 @@ func (e *Estimator) RunContext(ctx context.Context, rng *stats.RNG) Result {
 			res.ObservedMax = hs.ObservedMax
 		}
 		estimates = append(estimates, hs.Estimate)
-		if k < 2 {
-			if cfg.Observer != nil {
+		if k >= 2 {
+			e.updateInterval(&res, estimates)
+		}
+		if cfg.Observer != nil {
+			if k < 2 {
 				cfg.Observer.HyperSampleDone(Progress{
 					HyperSamples: 1,
 					Estimate:     estimates[0],
@@ -407,42 +502,34 @@ func (e *Estimator) RunContext(ctx context.Context, rng *stats.RNG) Result {
 					RelErr:       math.Inf(1),
 					Units:        res.Units,
 				})
+			} else {
+				cfg.Observer.HyperSampleDone(Progress{
+					HyperSamples: k,
+					Estimate:     res.Estimate,
+					CILow:        res.CILow,
+					CIHigh:       res.CIHigh,
+					RelErr:       res.RelErr,
+					Units:        res.Units,
+					Converged:    res.Converged,
+				})
 			}
-			continue
 		}
-		mean, sd := stats.MeanStd(estimates)
-		tq := stats.TwoSidedT(cfg.Confidence, float64(k-1))
-		half := tq * sd / math.Sqrt(float64(k))
-		res.Estimate = mean
-		res.SigmaSq = sd * sd
-		res.SigmaSqLow, res.SigmaSqHi = stats.VarianceCI(res.SigmaSq, k, cfg.Confidence)
-		res.CILow = mean - half
-		res.CIHigh = mean + half
-		if mean != 0 {
-			res.RelErr = half / math.Abs(mean)
-		} else {
-			res.RelErr = math.Inf(1)
-		}
-		res.HyperSamples = k
-		if res.RelErr <= cfg.Epsilon {
-			res.Converged = true
-		}
-		if cfg.Observer != nil {
-			cfg.Observer.HyperSampleDone(Progress{
-				HyperSamples: k,
-				Estimate:     res.Estimate,
-				CILow:        res.CILow,
-				CIHigh:       res.CIHigh,
-				RelErr:       res.RelErr,
-				Units:        res.Units,
-				Converged:    res.Converged,
+		if cfg.OnCheckpoint != nil {
+			cfg.OnCheckpoint(Checkpoint{
+				Estimates:   append([]float64(nil), estimates...),
+				Units:       res.Units,
+				ObservedMax: res.ObservedMax,
+				RNG:         rng.State(),
+				SimNS:       int64(res.SimTime),
+				FitNS:       int64(res.FitTime),
 			})
 		}
 		if res.Converged {
 			return res
 		}
 	}
-	// MaxHyperSamples == 1: no deviation exists; report the single
+	// MaxHyperSamples == 1 (or a resume that already exhausted the cap
+	// with a single estimate): no deviation exists; report the single
 	// hyper-sample with an unbounded interval rather than zeros.
 	if res.HyperSamples == 0 && len(estimates) > 0 {
 		res.Estimate = estimates[0]
@@ -452,6 +539,29 @@ func (e *Estimator) RunContext(ctx context.Context, rng *stats.RNG) Result {
 		res.HyperSamples = len(estimates)
 	}
 	return res
+}
+
+// updateInterval folds the current estimate list into res: the running
+// mean, the Student-t interval (Eqn. 3.8), the σ² estimate with its χ²
+// interval, and the stopping decision. Pure arithmetic — no randomness.
+func (e *Estimator) updateInterval(res *Result, estimates []float64) {
+	cfg := e.cfg
+	k := len(estimates)
+	mean, sd := stats.MeanStd(estimates)
+	tq := stats.TwoSidedT(cfg.Confidence, float64(k-1))
+	half := tq * sd / math.Sqrt(float64(k))
+	res.Estimate = mean
+	res.SigmaSq = sd * sd
+	res.SigmaSqLow, res.SigmaSqHi = stats.VarianceCI(res.SigmaSq, k, cfg.Confidence)
+	res.CILow = mean - half
+	res.CIHigh = mean + half
+	if mean != 0 {
+		res.RelErr = half / math.Abs(mean)
+	} else {
+		res.RelErr = math.Inf(1)
+	}
+	res.HyperSamples = k
+	res.Converged = res.RelErr <= cfg.Epsilon
 }
 
 // RelativeError returns (estimate − actual)/actual, the quantity reported

@@ -1,0 +1,105 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedIsFree(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Hit("never/armed"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+}
+
+func TestArmFiresAndCountsDown(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Arm("a/b", 2, func() error { return boom })
+	if err := Hit("a/b"); err != boom {
+		t.Fatalf("first hit = %v, want boom", err)
+	}
+	if got := Hits("a/b"); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+	if err := Hit("a/b"); err != boom {
+		t.Fatalf("second hit = %v, want boom", err)
+	}
+	// Exhausted after 2 fires: disarmed.
+	if err := Hit("a/b"); err != nil {
+		t.Fatalf("exhausted point still fires: %v", err)
+	}
+	if got := Hits("a/b"); got != 0 {
+		t.Fatalf("hits after self-disarm = %d, want 0", got)
+	}
+}
+
+func TestUnlimitedAndDisarm(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Arm("x/y", 0, func() error { return boom })
+	for i := 0; i < 5; i++ {
+		if err := Hit("x/y"); err != boom {
+			t.Fatalf("hit %d = %v", i, err)
+		}
+	}
+	Disarm("x/y")
+	if err := Hit("x/y"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p/q", 1, func() error { panic("injected") })
+	defer func() {
+		if r := recover(); r != "injected" {
+			t.Fatalf("recover = %v, want injected", r)
+		}
+		// Self-disarmed before panicking: the next hit is clean.
+		if err := Hit("p/q"); err != nil {
+			t.Fatalf("point still armed after one-shot panic: %v", err)
+		}
+	}()
+	Hit("p/q")
+}
+
+func TestResetClearsAll(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("r/1", 0, func() error { return errors.New("e") })
+	Arm("r/2", 0, func() error { return errors.New("e") })
+	Reset()
+	if Hit("r/1") != nil || Hit("r/2") != nil {
+		t.Fatal("Reset left a point armed")
+	}
+}
+
+// TestConcurrentHits: Hit is safe under concurrent use (the chaos tests
+// run under -race with multiple workers hitting the same seams).
+func TestConcurrentHits(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Arm("c/c", 100, func() error { return boom })
+	var wg sync.WaitGroup
+	fired := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if Hit("c/c") != nil {
+					fired[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range fired {
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("fired %d times across workers, want exactly 100", total)
+	}
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestAdversarialSubmissions throws hostile request bodies at
+// POST /v1/jobs: every one must be rejected at the edge with the right
+// status and error code, counted in rejected_invalid, and leave the
+// daemon fully able to run the next legitimate job. Payloads that pass
+// edge validation but blow up later (a garbage netlist) may only fail
+// their own job.
+func TestAdversarialSubmissions(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{Workers: 1})
+
+	cases := []struct {
+		name     string
+		body     string
+		wantCode int
+		wantErr  string
+	}{
+		{"empty body", ``, http.StatusBadRequest, "bad_json"},
+		{"not json", `certainly not json`, http.StatusBadRequest, "bad_json"},
+		{"truncated json", `{"circuit":"C432",`, http.StatusBadRequest, "bad_json"},
+		{"unknown field", `{"circuit":"C432","exploit":"yes"}`, http.StatusBadRequest, "bad_json"},
+		{"wrong field type", `{"circuit":17}`, http.StatusBadRequest, "bad_json"},
+		{"no circuit source", `{}`, http.StatusBadRequest, "invalid_request"},
+		{"both circuit and bench", `{"circuit":"C432","bench":"INPUT(1)"}`, http.StatusBadRequest, "invalid_request"},
+		{"unknown circuit", `{"circuit":"C666"}`, http.StatusBadRequest, "invalid_request"},
+		{"negative timeout", `{"circuit":"C432","options":{"timeout_ms":-1}}`, http.StatusBadRequest, "invalid_request"},
+		{"epsilon out of range", `{"circuit":"C432","options":{"epsilon":1.5}}`, http.StatusBadRequest, "invalid_request"},
+		{"confidence out of range", `{"circuit":"C432","options":{"confidence":2}}`, http.StatusBadRequest, "invalid_request"},
+		{"oversized body", `{"bench":"` + strings.Repeat("A", 9<<20) + `"}`, http.StatusRequestEntityTooLarge, "body_too_large"},
+	}
+
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := serviceStats(t, srv)
+			resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewBufferString(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status = %d, want %d; body %s", resp.StatusCode, tc.wantCode, buf.String())
+			}
+			if !strings.Contains(buf.String(), tc.wantErr) {
+				t.Errorf("body %s lacks error code %q", buf.String(), tc.wantErr)
+			}
+			after := serviceStats(t, srv)
+			if after.RejectedInvalid != before.RejectedInvalid+1 {
+				t.Errorf("rejected_invalid %d -> %d, want +1", before.RejectedInvalid, after.RejectedInvalid)
+			}
+			if after.JobsSubmitted != before.JobsSubmitted {
+				t.Errorf("rejection %d leaked into jobs_submitted", i)
+			}
+		})
+	}
+
+	// A syntactically valid but semantically broken netlist passes edge
+	// validation, fails only its own job, and never takes a worker down.
+	t.Run("garbage netlist fails its own job only", func(t *testing.T) {
+		id := submitJob(t, srv, JobRequest{Bench: "10 = NAND(1, undeclared_net)"})
+		if st := waitTerminal(t, srv, id); st.State != StateFailed || st.Error == "" {
+			t.Fatalf("garbage netlist job = %s (%q), want failed with an error", st.State, st.Error)
+		}
+	})
+
+	// After the whole gauntlet the daemon still estimates.
+	id := submitJob(t, srv, smallJob(99))
+	if st := waitTerminal(t, srv, id); st.State != StateDone {
+		t.Fatalf("post-gauntlet job = %s (%s), want done", st.State, st.Error)
+	}
+}

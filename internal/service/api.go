@@ -62,6 +62,11 @@ type EstimateOptions struct {
 	MaxHyperSamples         int     `json:"max_hyper_samples,omitempty"`
 	DisableFiniteCorrection bool    `json:"disable_finite_correction,omitempty"`
 	Workers                 int     `json:"workers,omitempty"`
+	// TimeoutMS caps the job's wall time in milliseconds. The manager's
+	// MaxJobDuration is a ceiling: a job may ask for less, never more. A
+	// job that hits its deadline stops at the next hyper-sample boundary
+	// and keeps its partial (checkpointed) estimate as a cancelled job.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 func (o EstimateOptions) toLib() maxpower.EstimateOptions {
@@ -103,6 +108,9 @@ func (r JobRequest) Validate(known func(string) bool) error {
 	}
 	if r.Circuit != "" && known != nil && !known(r.Circuit) {
 		return fmt.Errorf("unknown circuit %q (GET /v1/circuits lists the built-ins)", r.Circuit)
+	}
+	if r.Options.TimeoutMS < 0 {
+		return fmt.Errorf("options.timeout_ms must be >= 0, got %d", r.Options.TimeoutMS)
 	}
 	if err := r.Population.toLib(0).Validate(); err != nil {
 		return err
@@ -205,6 +213,21 @@ type Stats struct {
 	// view of how much of the estimation budget the simulator consumes.
 	SimNS int64 `json:"sim_ns"`
 	MLENS int64 `json:"mle_ns"`
+	// Robustness counters (PR 4). JobsRecovered counts jobs re-enqueued
+	// from the journal after a restart; JobsEvicted, terminal jobs
+	// dropped by the retention policy; DeadlineExceeded, jobs stopped by
+	// their wall-time cap; Panics, worker panics converted to failed
+	// jobs. The Rejected* trio splits refused submissions by cause, and
+	// JournalErrors counts journal appends that failed (jobs proceed —
+	// durability degrades, availability does not).
+	JobsRecovered    int64 `json:"jobs_recovered"`
+	JobsEvicted      int64 `json:"jobs_evicted"`
+	DeadlineExceeded int64 `json:"jobs_deadline_exceeded"`
+	Panics           int64 `json:"panics"`
+	RejectedFull     int64 `json:"rejected_queue_full"`
+	RejectedShutdown int64 `json:"rejected_shutting_down"`
+	RejectedInvalid  int64 `json:"rejected_invalid"`
+	JournalErrors    int64 `json:"journal_errors"`
 }
 
 // apiError is the structured error body: {"error":{"code":..,"message":..}}.

@@ -5,11 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/evt"
+	"repro/internal/faultpoint"
 	"repro/internal/netlist"
 	"repro/maxpower"
 )
@@ -38,6 +42,25 @@ type ManagerConfig struct {
 	// builds and the batched per-hyper-sample simulation of streaming
 	// jobs (0 = NumCPU). A job may request fewer workers, never more.
 	SimWorkers int
+	// DataDir, when non-empty, turns on the durable job journal: every
+	// submit/start/checkpoint/terminal transition is appended (fsync'd)
+	// to <DataDir>/journal.jsonl, and a restarted Manager replays it —
+	// terminal jobs come back with their results, interrupted jobs are
+	// re-enqueued from their last checkpoint and resume bit-identically.
+	// Empty keeps the PR-1 in-memory behavior with zero overhead.
+	DataDir string
+	// MaxJobDuration caps every job's wall time; a job's own
+	// options.timeout_ms may shorten but never extend it. A job that
+	// hits its deadline stops at the next hyper-sample boundary and
+	// keeps its partial (checkpointed) estimate. 0 = unlimited.
+	MaxJobDuration time.Duration
+	// RetainJobs bounds how many terminal jobs the table keeps; the
+	// oldest-finished are evicted beyond it. 0 = default 512, < 0 =
+	// unlimited. Queued and running jobs are never evicted.
+	RetainJobs int
+	// RetainFor is the terminal-job TTL: jobs finished longer ago are
+	// evicted by the janitor. 0 = default 1h, < 0 = no TTL.
+	RetainFor time.Duration
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -52,6 +75,12 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 16
+	}
+	if c.RetainJobs == 0 {
+		c.RetainJobs = 512
+	}
+	if c.RetainFor == 0 {
+		c.RetainFor = time.Hour
 	}
 	return c
 }
@@ -71,6 +100,12 @@ type job struct {
 	errMsg    string
 	cancel    context.CancelFunc
 	cancelled bool // DELETE arrived (possibly before the worker picked it up)
+	// resume is the last journaled checkpoint, set during replay; the
+	// worker hands it to the estimator so the job continues where the
+	// crashed process stopped.
+	resume *evt.Checkpoint
+	// recovered marks a job re-enqueued by journal replay.
+	recovered bool
 }
 
 // Manager owns the job table, the bounded work queue, the worker pool,
@@ -84,9 +119,10 @@ type Manager struct {
 	order []string // submission order, for listing
 	seq   int64
 
-	queue  chan *job
-	wg     sync.WaitGroup
-	closed bool
+	queue       chan *job
+	wg          sync.WaitGroup
+	closed      bool
+	janitorStop chan struct{}
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -94,15 +130,29 @@ type Manager struct {
 	circuits *lru[*netlist.Circuit]
 	pops     *lru[*maxpower.Population]
 
-	jobsSubmitted  atomic.Int64
-	jobsCompleted  atomic.Int64
-	jobsFailed     atomic.Int64
-	jobsCancelled  atomic.Int64
-	pairsSimulated atomic.Int64
-	unitsSimulated atomic.Int64
-	workersBusy    atomic.Int64
-	simNS          atomic.Int64
-	mleNS          atomic.Int64
+	// journal is non-nil when cfg.DataDir is set; crashed simulates a
+	// process death for chaos tests (outcome recording stops, as it
+	// would when the process is gone).
+	journal *journal
+	crashed atomic.Bool
+
+	jobsSubmitted    atomic.Int64
+	jobsCompleted    atomic.Int64
+	jobsFailed       atomic.Int64
+	jobsCancelled    atomic.Int64
+	jobsRecovered    atomic.Int64
+	jobsEvicted      atomic.Int64
+	jobsDeadline     atomic.Int64
+	panics           atomic.Int64
+	rejectedFull     atomic.Int64
+	rejectedShutdown atomic.Int64
+	rejectedInvalid  atomic.Int64
+	journalErrs      atomic.Int64
+	pairsSimulated   atomic.Int64
+	unitsSimulated   atomic.Int64
+	workersBusy      atomic.Int64
+	simNS            atomic.Int64
+	mleNS            atomic.Int64
 
 	// OnProgress, when non-nil, is invoked after each job progress
 	// update (job status already reflects the snapshot). It runs on the
@@ -111,32 +161,192 @@ type Manager struct {
 	OnProgress func(jobID string, p Progress)
 }
 
-// NewManager builds a Manager and starts its worker pool.
-func NewManager(cfg ManagerConfig) *Manager {
+// NewManager builds a Manager and starts its worker pool. When
+// cfg.DataDir is set it first recovers from the journal: terminal jobs
+// are restored with their results, interrupted jobs are re-enqueued
+// from their last checkpoint (ahead of any new submissions), and the
+// journal is compacted to one submit + latest checkpoint/terminal
+// record per retained job. The error is non-nil only for journal
+// problems the Manager cannot start without (an unwritable data dir).
+func NewManager(cfg ManagerConfig) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
 		jobs:       make(map[string]*job),
-		queue:      make(chan *job, cfg.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		circuits:   newLRU[*netlist.Circuit](8),
 		pops:       newLRU[*maxpower.Population](cfg.CacheSize),
 	}
+	var pending []*job
+	if cfg.DataDir != "" {
+		jn, recs, _, err := newJournal(cfg.DataDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		m.journal = jn
+		pending = m.replay(recs)
+	}
+	// Interrupted jobs must all fit: the queue grows past QueueDepth if
+	// the crashed process had more in flight (queued + running) than the
+	// restarted configuration would normally admit.
+	queueCap := cfg.QueueDepth
+	if len(pending) > queueCap {
+		queueCap = len(pending)
+	}
+	m.queue = make(chan *job, queueCap)
+	for _, j := range pending {
+		m.queue <- j
+	}
+	if m.journal != nil {
+		if err := m.journal.compact(m.snapshotRecords()); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	if cfg.RetainFor > 0 {
+		m.janitorStop = make(chan struct{})
+		m.wg.Add(1)
+		go m.janitor()
+	}
+	return m, nil
+}
+
+// replay folds journal records into the job table and returns the jobs
+// to re-enqueue, in submission order: everything that was queued or
+// running when the previous process died. Terminal jobs are restored
+// as-is; jobs evicted by the previous process stay gone.
+func (m *Manager) replay(recs []record) []*job {
+	for _, rec := range recs {
+		switch rec.Type {
+		case recSubmit:
+			if rec.Req == nil || m.jobs[rec.Job] != nil {
+				continue
+			}
+			var n int64
+			if _, err := fmt.Sscanf(rec.Job, "job-%d", &n); err == nil && n > m.seq {
+				m.seq = n
+			}
+			j := &job{
+				id:      rec.Job,
+				req:     *rec.Req,
+				circuit: displayName(*rec.Req),
+				state:   StateQueued,
+				created: rec.Time,
+			}
+			m.jobs[j.id] = j
+			m.order = append(m.order, j.id)
+		case recStart:
+			if j := m.jobs[rec.Job]; j != nil {
+				j.started = rec.Time
+			}
+		case recCheckpoint:
+			j := m.jobs[rec.Job]
+			if j == nil || rec.Checkpoint == nil {
+				continue
+			}
+			// A corrupt checkpoint would poison the resumed estimate;
+			// keep the previous good one instead.
+			if err := rec.Checkpoint.Validate(); err == nil {
+				j.resume = rec.Checkpoint
+			}
+		case recTerminal:
+			j := m.jobs[rec.Job]
+			if j == nil || !rec.State.Terminal() {
+				continue
+			}
+			j.state = rec.State
+			j.finished = rec.Time
+			j.errMsg = rec.Error
+			j.cacheHit = rec.CacheHit
+			j.result = rec.Result.toResult()
+		case recEvict:
+			if j := m.jobs[rec.Job]; j != nil {
+				delete(m.jobs, rec.Job)
+				m.order = removeID(m.order, rec.Job)
+			}
+		}
+	}
+	var pending []*job
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if j.state.Terminal() {
+			continue
+		}
+		j.state = StateQueued
+		j.started = time.Time{}
+		j.recovered = true
+		m.jobsRecovered.Add(1)
+		expJobsRecovered.Add(1)
+		pending = append(pending, j)
+	}
+	return pending
+}
+
+// snapshotRecords serializes the current job table as a compacted
+// journal: one submit record per job, plus its latest checkpoint (live
+// jobs) or terminal record (finished ones).
+func (m *Manager) snapshotRecords() []record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var recs []record
+	for _, id := range m.order {
+		j := m.jobs[id]
+		recs = append(recs, record{Type: recSubmit, Job: j.id, Time: j.created, Req: &j.req})
+		if !j.started.IsZero() {
+			recs = append(recs, record{Type: recStart, Job: j.id, Time: j.started})
+		}
+		switch {
+		case j.state.Terminal():
+			recs = append(recs, record{
+				Type: recTerminal, Job: j.id, Time: j.finished,
+				State: j.state, Error: j.errMsg, CacheHit: j.cacheHit,
+				Result: toJournalResult(j.result),
+			})
+		case j.resume != nil:
+			recs = append(recs, record{Type: recCheckpoint, Job: j.id, Time: j.created, Checkpoint: j.resume})
+		}
+	}
+	return recs
+}
+
+func removeID(order []string, id string) []string {
+	for i, v := range order {
+		if v == id {
+			return append(order[:i], order[i+1:]...)
+		}
+	}
+	return order
+}
+
+// journalAppend writes a record if journaling is on. Journal failures
+// never fail the job — the daemon trades durability for availability
+// and surfaces the problem through the journal-error counters.
+func (m *Manager) journalAppend(rec record) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal.append(rec); err != nil {
+		m.journalErrs.Add(1)
+		expJournalErrors.Add(1)
+	}
 }
 
 // Submit validates nothing (the server already has) and enqueues the
-// job, returning its ID.
+// job, returning its ID. The submit record is journaled (and fsync'd)
+// before Submit returns, so an acknowledged job survives a crash.
 func (m *Manager) Submit(req JobRequest) (string, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		m.rejectedShutdown.Add(1)
+		expRejectedShutdown.Add(1)
 		return "", ErrShuttingDown
 	}
 	m.seq++
@@ -150,15 +360,31 @@ func (m *Manager) Submit(req JobRequest) (string, error) {
 	select {
 	case m.queue <- j:
 	default:
+		m.seq-- // the ID was never exposed; reuse it
 		m.mu.Unlock()
+		m.rejectedFull.Add(1)
+		expRejectedFull.Add(1)
 		return "", ErrQueueFull
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+	evicted := m.evictLocked(time.Now())
 	m.mu.Unlock()
 	m.jobsSubmitted.Add(1)
 	expJobsSubmitted.Add(1)
+	m.journalAppend(record{Type: recSubmit, Job: j.id, Time: j.created, Req: &j.req})
+	for _, rec := range evicted {
+		m.journalAppend(rec)
+	}
 	return j.id, nil
+}
+
+// NoteRejectedInvalid counts a submission the HTTP edge refused before
+// it reached Submit (body too large, malformed JSON, failed validation),
+// so load shedding is observable alongside queue-full rejections.
+func (m *Manager) NoteRejectedInvalid() {
+	m.rejectedInvalid.Add(1)
+	expRejectedInvalid.Add(1)
 }
 
 func displayName(req JobRequest) string {
@@ -259,25 +485,33 @@ func (m *Manager) Result(id string) (JobResult, error) {
 // their context cancelled and finish at the next hyper-sample boundary.
 func (m *Manager) Cancel(id string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
+		m.mu.Unlock()
 		return ErrNotFound
 	}
+	var terminalRec *record
 	switch {
 	case j.state.Terminal():
-		return fmt.Errorf("%w: job %s is already %s", ErrFinished, id, j.state)
+		state := j.state
+		m.mu.Unlock()
+		return fmt.Errorf("%w: job %s is already %s", ErrFinished, id, state)
 	case j.state == StateQueued:
 		j.cancelled = true
 		j.state = StateCancelled
 		j.finished = time.Now()
 		m.jobsCancelled.Add(1)
 		expJobsCancelled.Add(1)
+		terminalRec = &record{Type: recTerminal, Job: j.id, Time: j.finished, State: StateCancelled}
 	default: // running
 		j.cancelled = true
 		if j.cancel != nil {
 			j.cancel()
 		}
+	}
+	m.mu.Unlock()
+	if terminalRec != nil {
+		m.journalAppend(*terminalRec)
 	}
 	return nil
 }
@@ -299,6 +533,15 @@ func (m *Manager) Stats() Stats {
 		PopulationsHeld: int64(m.pops.len()),
 		SimNS:           m.simNS.Load(),
 		MLENS:           m.mleNS.Load(),
+
+		JobsRecovered:    m.jobsRecovered.Load(),
+		JobsEvicted:      m.jobsEvicted.Load(),
+		DeadlineExceeded: m.jobsDeadline.Load(),
+		Panics:           m.panics.Load(),
+		RejectedFull:     m.rejectedFull.Load(),
+		RejectedShutdown: m.rejectedShutdown.Load(),
+		RejectedInvalid:  m.rejectedInvalid.Load(),
+		JournalErrors:    m.journalErrs.Load(),
 	}
 }
 
@@ -315,18 +558,27 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 	m.closed = true
 	close(m.queue)
+	if m.janitorStop != nil {
+		close(m.janitorStop)
+	}
 	m.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() { m.wg.Wait(); close(done) }()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		m.baseCancel() // force running jobs to stop at the next boundary
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// The pool has drained: every terminal record is journaled, safe to
+	// close the handle.
+	if m.journal != nil {
+		m.journal.close()
+	}
+	return err
 }
 
 // worker is the pool loop: pull, run, repeat until the queue closes.
@@ -337,19 +589,41 @@ func (m *Manager) worker() {
 	}
 }
 
+// jobTimeout resolves the effective wall-time cap for a job: its own
+// timeout_ms, clamped by the manager-wide ceiling. 0 = unlimited.
+func jobTimeout(timeoutMS int64, ceiling time.Duration) time.Duration {
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if ceiling > 0 && (d <= 0 || d > ceiling) {
+		d = ceiling
+	}
+	return d
+}
+
 // runJob executes one job end to end and records its outcome.
 func (m *Manager) runJob(j *job) {
+	if m.crashed.Load() {
+		return // simulated process death: the worker is "gone"
+	}
 	m.mu.Lock()
 	if j.state != StateQueued { // cancelled while queued
 		m.mu.Unlock()
 		return
 	}
-	ctx, cancel := context.WithCancel(m.baseCtx)
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if d := jobTimeout(j.req.Options.TimeoutMS, m.cfg.MaxJobDuration); d > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, d)
+	} else {
+		ctx, cancel = context.WithCancel(m.baseCtx)
+	}
 	defer cancel()
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
 	m.mu.Unlock()
+	m.journalAppend(record{Type: recStart, Job: j.id, Time: j.started})
 
 	m.workersBusy.Add(1)
 	expWorkersBusy.Add(1)
@@ -358,13 +632,31 @@ func (m *Manager) runJob(j *job) {
 		expWorkersBusy.Add(-1)
 	}()
 
-	res, cacheHit, err := m.execute(ctx, j)
+	res, cacheHit, err := m.executeRecover(ctx, j)
+
+	if m.crashed.Load() {
+		// Simulated process death: a real crash records nothing past this
+		// point — no state transition, no terminal record. Replay finds
+		// the job's last checkpoint and resumes it.
+		return
+	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j.finished = time.Now()
 	j.cacheHit = cacheHit
+	deadline := ctx.Err() == context.DeadlineExceeded
 	switch {
+	case err == nil && deadline:
+		// The job hit its wall-time cap: the estimator stopped at a
+		// hyper-sample boundary and returned the partial estimate, which
+		// the job keeps.
+		j.state = StateCancelled
+		j.result = &res
+		j.errMsg = "deadline exceeded before convergence"
+		m.jobsCancelled.Add(1)
+		expJobsCancelled.Add(1)
+		m.jobsDeadline.Add(1)
+		expJobsDeadline.Add(1)
 	case err == nil && ctx.Err() != nil:
 		// The estimator returned a partial result after cancellation
 		// (job-level DELETE or shutdown deadline).
@@ -402,6 +694,32 @@ func (m *Manager) runJob(j *job) {
 		m.mleNS.Add(int64(res.FitTime))
 		expMLENS.Add(int64(res.FitTime))
 	}
+	term := record{
+		Type: recTerminal, Job: j.id, Time: j.finished,
+		State: j.state, Error: j.errMsg, CacheHit: j.cacheHit,
+		Result: toJournalResult(j.result),
+	}
+	m.mu.Unlock()
+	m.journalAppend(term)
+}
+
+// executeRecover runs execute behind a recover barrier: a panic anywhere
+// in job execution — circuit parsing, population build, the estimator —
+// fails that one job with the stack in its error message and leaves the
+// worker, the pool, and every other job untouched.
+func (m *Manager) executeRecover(ctx context.Context, j *job) (res maxpower.Result, cacheHit bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.panics.Add(1)
+			expPanics.Add(1)
+			res, cacheHit = maxpower.Result{}, false
+			err = fmt.Errorf("service: panic in job %s: %v\n%s", j.id, r, debug.Stack())
+		}
+	}()
+	if ferr := faultpoint.Hit("service/worker-run"); ferr != nil {
+		return maxpower.Result{}, false, ferr
+	}
+	return m.execute(ctx, j)
 }
 
 // execute resolves the circuit, picks streaming vs. population mode,
@@ -414,6 +732,17 @@ func (m *Manager) execute(ctx context.Context, j *job) (maxpower.Result, bool, e
 	spec := j.req.Population.toLib(m.cfg.SimWorkers)
 	opt := j.req.Options.toLib()
 	opt.Progress = func(p maxpower.ProgressSnapshot) { m.recordProgress(j, p) }
+	// Resume from the last journaled checkpoint when replay attached one;
+	// the estimator continues the interrupted run bit-identically.
+	opt.Checkpoint = j.resume
+	if m.journal != nil {
+		opt.OnCheckpoint = func(cp maxpower.Checkpoint) {
+			if ferr := faultpoint.Hit("service/checkpoint"); ferr != nil {
+				return // simulated checkpoint loss: this boundary goes unjournaled
+			}
+			m.journalAppend(record{Type: recCheckpoint, Job: j.id, Time: time.Now(), Checkpoint: &cp})
+		}
+	}
 
 	if j.req.Streaming {
 		// Job-level worker budget: the request picks its parallelism, the
@@ -434,6 +763,9 @@ func (m *Manager) execute(ctx context.Context, j *job) (maxpower.Result, bool, e
 		expCacheHits.Add(1)
 	} else {
 		expCacheMisses.Add(1)
+		if ferr := faultpoint.Hit("service/population-build"); ferr != nil {
+			return maxpower.Result{}, false, ferr
+		}
 		buildStart := time.Now()
 		pop, err = maxpower.BuildPopulation(c, spec)
 		if err != nil {
@@ -473,6 +805,111 @@ func (m *Manager) resolveCircuit(req JobRequest) (*netlist.Circuit, error) {
 	}
 	m.circuits.add(key, c)
 	return c, nil
+}
+
+// evictLocked enforces the retention policy on terminal jobs: drop
+// everything finished longer than RetainFor ago, then the oldest-
+// finished beyond the RetainJobs count. Queued and running jobs are
+// never evicted, so the table stays bounded without ever losing live
+// work. Caller holds m.mu; the returned evict records are journaled by
+// the caller after unlocking (fsync under the table lock would stall
+// every API request).
+func (m *Manager) evictLocked(now time.Time) []record {
+	var victims []string
+	if ttl := m.cfg.RetainFor; ttl > 0 {
+		cutoff := now.Add(-ttl)
+		for _, id := range m.order {
+			j := m.jobs[id]
+			if j.state.Terminal() && j.finished.Before(cutoff) {
+				victims = append(victims, id)
+			}
+		}
+		for _, id := range victims {
+			delete(m.jobs, id)
+			m.order = removeID(m.order, id)
+		}
+	}
+	if keep := m.cfg.RetainJobs; keep > 0 {
+		var term []string
+		for _, id := range m.order {
+			if m.jobs[id].state.Terminal() {
+				term = append(term, id)
+			}
+		}
+		if excess := len(term) - keep; excess > 0 {
+			sort.SliceStable(term, func(a, b int) bool {
+				return m.jobs[term[a]].finished.Before(m.jobs[term[b]].finished)
+			})
+			for _, id := range term[:excess] {
+				delete(m.jobs, id)
+				m.order = removeID(m.order, id)
+				victims = append(victims, id)
+			}
+		}
+	}
+	recs := make([]record, 0, len(victims))
+	for _, id := range victims {
+		m.jobsEvicted.Add(1)
+		expJobsEvicted.Add(1)
+		recs = append(recs, record{Type: recEvict, Job: id, Time: now})
+	}
+	return recs
+}
+
+// janitor ages out terminal jobs on a timer, so the table shrinks even
+// when no submissions arrive to trigger eviction inline.
+func (m *Manager) janitor() {
+	defer m.wg.Done()
+	interval := m.cfg.RetainFor / 10
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case <-m.baseCtx.Done():
+			return
+		case now := <-t.C:
+			m.mu.Lock()
+			recs := m.evictLocked(now)
+			m.mu.Unlock()
+			for _, rec := range recs {
+				m.journalAppend(rec)
+			}
+		}
+	}
+}
+
+// killForTest simulates a process crash for chaos tests. Unlike
+// Shutdown it records no outcomes: running estimations are interrupted
+// at their next hyper-sample boundary and simply vanish — no state
+// transition, no terminal record — exactly the journal a SIGKILL'd
+// process leaves behind. The journal handle is closed so a successor
+// Manager can replay the same data dir.
+func (m *Manager) killForTest() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.crashed.Store(true)
+	close(m.queue)
+	if m.janitorStop != nil {
+		close(m.janitorStop)
+	}
+	m.mu.Unlock()
+	m.baseCancel()
+	m.wg.Wait()
+	if m.journal != nil {
+		m.journal.close()
+	}
 }
 
 // recordProgress stores the estimator snapshot on the job and fires the

@@ -115,7 +115,10 @@ func TestQueueFull(t *testing.T) {
 // TestShutdownDrains submits work, shuts the manager down, and expects
 // the queued job to have completed and later submissions to be refused.
 func TestShutdownDrains(t *testing.T) {
-	mgr := NewManager(ManagerConfig{Workers: 1})
+	mgr, err := NewManager(ManagerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	id, err := mgr.Submit(smallJob(51))
 	if err != nil {
 		t.Fatal(err)
@@ -145,7 +148,10 @@ func TestShutdownDrains(t *testing.T) {
 // while a job is gated mid-run; the job must come back cancelled, not
 // hang the shutdown.
 func TestShutdownDeadlineCancelsRunning(t *testing.T) {
-	mgr := NewManager(ManagerConfig{Workers: 1})
+	mgr, err := NewManager(ManagerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	gate, release := gateFirstProgress(mgr)
 
 	id, err := mgr.Submit(smallJob(61))

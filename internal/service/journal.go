@@ -1,0 +1,264 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/evt"
+	"repro/internal/faultpoint"
+	"repro/maxpower"
+)
+
+// The journal is maxpowerd's durability layer: an append-only file of
+// JSON records, one per line, fsync'd after every append. Each job
+// contributes a submit record, a start record when a worker picks it up,
+// a checkpoint record after every completed hyper-sample, and a terminal
+// record with its outcome. On restart the Manager replays the journal,
+// restores terminal results, re-enqueues interrupted jobs from their
+// last checkpoint (the estimator resumes them bit-identically — see
+// evt.Checkpoint), and compacts the file down to one submit + last
+// checkpoint/terminal record per live job.
+//
+// Torn tails are expected: a crash mid-write leaves a partial last line,
+// which replay skips. Any record that fails to parse is likewise skipped
+// rather than aborting recovery — a corrupt checkpoint only costs the
+// hyper-samples since the previous good one.
+
+const journalName = "journal.jsonl"
+
+// Record types.
+const (
+	recSubmit     = "submit"
+	recStart      = "start"
+	recCheckpoint = "checkpoint"
+	recTerminal   = "terminal"
+	recEvict      = "evict"
+)
+
+// record is one journal line. Fields beyond Type/Job/Time are populated
+// per type: Req on submit, Checkpoint on checkpoint, State/Error/
+// CacheHit/Result on terminal.
+type record struct {
+	Type       string          `json:"type"`
+	Job        string          `json:"job"`
+	Time       time.Time       `json:"time"`
+	Req        *JobRequest     `json:"req,omitempty"`
+	Checkpoint *evt.Checkpoint `json:"checkpoint,omitempty"`
+	State      JobState        `json:"state,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	CacheHit   bool            `json:"cache_hit,omitempty"`
+	Result     *journalResult  `json:"result,omitempty"`
+}
+
+// journalResult persists the scalar fields of a finished job's
+// maxpower.Result. The per-hyper-sample Trace is deliberately not
+// journaled (it can be megabytes for long runs and nothing in the API
+// serves it); non-finite values are sanitized exactly like the HTTP
+// transport does, so a restored result reads back identically over the
+// API.
+type journalResult struct {
+	Estimate     float64 `json:"estimate"`
+	CILow        float64 `json:"ci_low"`
+	CIHigh       float64 `json:"ci_high"`
+	RelErr       float64 `json:"rel_err"`
+	HyperSamples int     `json:"hyper_samples"`
+	Units        int     `json:"units"`
+	Converged    bool    `json:"converged"`
+	SigmaSq      float64 `json:"sigma_sq"`
+	SigmaSqLow   float64 `json:"sigma_sq_low"`
+	SigmaSqHi    float64 `json:"sigma_sq_hi"`
+	ObservedMax  float64 `json:"observed_max"`
+	SimNS        int64   `json:"sim_ns"`
+	FitNS        int64   `json:"fit_ns"`
+}
+
+func toJournalResult(r *maxpower.Result) *journalResult {
+	if r == nil {
+		return nil
+	}
+	return &journalResult{
+		Estimate: finite(r.Estimate), CILow: finite(r.CILow), CIHigh: finite(r.CIHigh),
+		RelErr: finite(r.RelErr), HyperSamples: r.HyperSamples, Units: r.Units,
+		Converged: r.Converged, SigmaSq: finite(r.SigmaSq),
+		SigmaSqLow: finite(r.SigmaSqLow), SigmaSqHi: finite(r.SigmaSqHi),
+		ObservedMax: finite(r.ObservedMax),
+		SimNS:       int64(r.SimTime), FitNS: int64(r.FitTime),
+	}
+}
+
+func (jr *journalResult) toResult() *maxpower.Result {
+	if jr == nil {
+		return nil
+	}
+	return &maxpower.Result{
+		Estimate: jr.Estimate, CILow: jr.CILow, CIHigh: jr.CIHigh,
+		RelErr: jr.RelErr, HyperSamples: jr.HyperSamples, Units: jr.Units,
+		Converged: jr.Converged, SigmaSq: jr.SigmaSq,
+		SigmaSqLow: jr.SigmaSqLow, SigmaSqHi: jr.SigmaSqHi,
+		ObservedMax: jr.ObservedMax,
+		SimTime:     time.Duration(jr.SimNS), FitTime: time.Duration(jr.FitNS),
+	}
+}
+
+// journal owns the append handle. All methods are safe for concurrent
+// use; every append is fsync'd before it returns, so an acknowledged
+// record survives a crash.
+type journal struct {
+	mu   sync.Mutex
+	dir  string
+	path string
+	f    *os.File
+}
+
+// newJournal reads (but does not yet rewrite) the journal in dir,
+// returning the parsed records and the number of skipped (torn or
+// corrupt) lines. The append handle is opened by compact.
+func newJournal(dir string) (*journal, []record, int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, fmt.Errorf("service: journal dir: %w", err)
+	}
+	jn := &journal{dir: dir, path: filepath.Join(dir, journalName)}
+	recs, skipped, err := readRecords(jn.path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return jn, recs, skipped, nil
+}
+
+// readRecords parses a journal file line by line. Unparsable lines —
+// the torn tail of a crash mid-write, or bit rot anywhere — are skipped
+// and counted, never fatal: recovery proceeds from what survives.
+func readRecords(path string) ([]record, int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: open journal: %w", err)
+	}
+	defer f.Close()
+	var (
+		recs    []record
+		skipped int
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // checkpoint lines can be long
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Type == "" || rec.Job == "" {
+			skipped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("service: read journal: %w", err)
+	}
+	return recs, skipped, nil
+}
+
+// compact atomically replaces the journal with the given records (the
+// Manager's post-replay snapshot: one submit + latest checkpoint or
+// terminal record per retained job) and opens the append handle. Write
+// to a temp file, fsync, rename over, fsync the directory — a crash at
+// any point leaves either the old journal or the new one, never a mix.
+func (jn *journal) compact(recs []record) error {
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if jn.f != nil {
+		jn.f.Close()
+		jn.f = nil
+	}
+	tmp := jn.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: journal compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("service: journal compact marshal: %w", err)
+		}
+		w.Write(b)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("service: journal compact flush: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("service: journal compact sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("service: journal compact close: %w", err)
+	}
+	if err := os.Rename(tmp, jn.path); err != nil {
+		return fmt.Errorf("service: journal compact rename: %w", err)
+	}
+	syncDir(jn.dir)
+	af, err := os.OpenFile(jn.path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: journal reopen: %w", err)
+	}
+	jn.f = af
+	return nil
+}
+
+// append writes one record and fsyncs. The two fault points bracket the
+// write so chaos tests can simulate a failed write and a crash between
+// write and fsync.
+func (jn *journal) append(rec record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: journal marshal: %w", err)
+	}
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if jn.f == nil {
+		return fmt.Errorf("service: journal closed")
+	}
+	if err := faultpoint.Hit("service/journal-write"); err != nil {
+		return err
+	}
+	if _, err := jn.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("service: journal write: %w", err)
+	}
+	if err := faultpoint.Hit("service/journal-fsync"); err != nil {
+		return err
+	}
+	if err := jn.f.Sync(); err != nil {
+		return fmt.Errorf("service: journal sync: %w", err)
+	}
+	return nil
+}
+
+func (jn *journal) close() {
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if jn.f != nil {
+		jn.f.Close()
+		jn.f = nil
+	}
+}
+
+// syncDir fsyncs a directory so a rename within it is durable. Errors
+// are ignored: some filesystems refuse directory fsync, and the rename
+// itself already landed.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -20,4 +20,18 @@ var (
 	// (unit-power draws and population builds) vs Weibull MLE fitting.
 	expSimNS = expvar.NewInt("maxpowerd_sim_ns")
 	expMLENS = expvar.NewInt("maxpowerd_mle_ns")
+	// Robustness counters: recovered = jobs re-enqueued from the journal
+	// after a restart; evicted = terminal jobs dropped by the retention
+	// policy; deadline = jobs stopped by their wall-time cap; panics =
+	// worker panics converted to job failures (the daemon kept serving);
+	// rejected_* = submissions refused at the edge, split by cause;
+	// journal_errors = journal appends that failed (the job proceeded).
+	expJobsRecovered    = expvar.NewInt("maxpowerd_jobs_recovered")
+	expJobsEvicted      = expvar.NewInt("maxpowerd_jobs_evicted")
+	expJobsDeadline     = expvar.NewInt("maxpowerd_jobs_deadline_exceeded")
+	expPanics           = expvar.NewInt("maxpowerd_panics")
+	expRejectedFull     = expvar.NewInt("maxpowerd_rejected_queue_full")
+	expRejectedShutdown = expvar.NewInt("maxpowerd_rejected_shutting_down")
+	expRejectedInvalid  = expvar.NewInt("maxpowerd_rejected_invalid")
+	expJournalErrors    = expvar.NewInt("maxpowerd_journal_errors")
 )

@@ -45,31 +45,43 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSubmit is POST /v1/jobs: validate, enqueue, 202 with the ID.
+// Every rejection is counted (rejected_invalid / rejected_queue_full /
+// rejected_shutting_down) so load shedding shows up in /v1/stats; 503s
+// carry Retry-After so well-behaved clients back off.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	// MaxBytesReader (unlike a bare LimitReader) also closes the
+	// connection when the cap is blown, so an oversized upload cannot
+	// keep streaming into a dead request.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
+		s.mgr.NoteRejectedInvalid()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", "request body exceeds 8 MiB")
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad_body", err.Error())
-		return
-	}
-	if len(body) > maxBodyBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", "request body exceeds 8 MiB")
 		return
 	}
 	var req JobRequest
 	if err := unmarshalStrict(body, &req); err != nil {
+		s.mgr.NoteRejectedInvalid()
 		writeError(w, http.StatusBadRequest, "bad_json", err.Error())
 		return
 	}
 	if err := req.Validate(isBuiltinCircuit); err != nil {
+		s.mgr.NoteRejectedInvalid()
 		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
 	id, err := s.mgr.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, "queue_full", err.Error())
 		return
 	case errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", "30")
 		writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
 		return
 	case err != nil:

@@ -17,7 +17,10 @@ import (
 
 func newTestServer(t *testing.T, cfg ManagerConfig) (*httptest.Server, *Manager) {
 	t.Helper()
-	mgr := NewManager(cfg)
+	mgr, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(NewServer(mgr))
 	t.Cleanup(func() {
 		srv.Close()
@@ -204,8 +207,13 @@ func TestEndToEndC432(t *testing.T) {
 	if after.CacheHits != before.CacheHits+1 {
 		t.Errorf("cache hits %d -> %d, want +1", before.CacheHits, after.CacheHits)
 	}
-	if warm.DurationMS >= cold.DurationMS {
-		t.Errorf("warm job (%.2f ms) not faster than cold (%.2f ms)", warm.DurationMS, cold.DurationMS)
+	// The warm job must not pay for any new pair simulations — the whole
+	// point of the cache is skipping the population build. (A wall-clock
+	// warm-faster-than-cold comparison is too noisy to assert: the build
+	// is ~4 ms against ~50 ms of estimation.)
+	if after.PairsSimulated != before.PairsSimulated {
+		t.Errorf("warm job simulated %d new pairs, want 0 (population cache hit)",
+			after.PairsSimulated-before.PairsSimulated)
 	}
 
 	var res2 JobResult

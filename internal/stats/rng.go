@@ -66,6 +66,23 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xa0761d6478bd642f)
 }
 
+// State returns the generator's internal state. Together with SetState it
+// is the checkpoint seam: capturing the state after N draws and restoring
+// it later continues the exact same stream, so interrupted computations
+// can resume bit-identically.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously captured by State. The all-zero
+// state is absorbing for xoshiro256** (every output would be zero), so it
+// is replaced by the zero-seeded state instead.
+func (r *RNG) SetState(s [4]uint64) {
+	if s == ([4]uint64{}) {
+		r.Seed(0)
+		return
+	}
+	r.s = s
+}
+
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/faultpoint"
 	"repro/internal/power"
 	"repro/internal/stats"
 )
@@ -83,7 +84,11 @@ func (s *StreamSource) SampleBatch(rng *stats.RNG, dst []float64) {
 		pairs[i] = s.gen.Generate(rng)
 	}
 	s.simulated.Add(int64(len(dst)))
-	if err := s.engine().evaluate(pairs, dst); err != nil {
+	err := s.engine().evaluate(pairs, dst)
+	if ferr := faultpoint.Hit("vectorgen/sample-batch"); ferr != nil {
+		err = ferr // injected batch-simulation failure (chaos tests)
+	}
+	if err != nil {
 		// Bit-parallel evaluation is bit-identical to the scalar path, so
 		// recovering serially preserves the determinism contract while the
 		// recorded error keeps the failure visible.

@@ -1,0 +1,119 @@
+package maxpower
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// resultKernel is the deterministic part of a Result the checkpoint
+// contract covers (everything but Trace and wall-clock timings).
+type resultKernel struct {
+	Estimate, CILow, CIHigh, RelErr float64
+	SigmaSq, ObservedMax            float64
+	HyperSamples, Units             int
+	Converged                       bool
+}
+
+func kernel(r Result) resultKernel {
+	return resultKernel{
+		Estimate: r.Estimate, CILow: r.CILow, CIHigh: r.CIHigh, RelErr: r.RelErr,
+		SigmaSq: r.SigmaSq, ObservedMax: r.ObservedMax,
+		HyperSamples: r.HyperSamples, Units: r.Units, Converged: r.Converged,
+	}
+}
+
+// TestStreamingResumeAfterJSONRoundTrip interrupts nothing — it records a
+// mid-run checkpoint, serializes it the way the service journal does, and
+// checks a resumed streaming run reproduces the uninterrupted result
+// exactly. The JSON round-trip is part of the contract: Go's float64
+// encoding must not perturb a single bit.
+func TestStreamingResumeAfterJSONRoundTrip(t *testing.T) {
+	c, err := Circuit("C432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := PopulationSpec{Size: 5000, Seed: 3}
+	opt := EstimateOptions{Seed: 9, Epsilon: 0.001, MaxHyperSamples: 8}
+
+	var cps []Checkpoint
+	rec := opt
+	rec.OnCheckpoint = func(cp Checkpoint) { cps = append(cps, cp) }
+	want, err := EstimateStreaming(c, spec, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != want.HyperSamples || want.HyperSamples != 8 {
+		t.Fatalf("got %d checkpoints, k=%d; want 8 pinned hyper-samples", len(cps), want.HyperSamples)
+	}
+
+	for _, i := range []int{0, 3, 6} {
+		raw, err := json.Marshal(cps[i])
+		if err != nil {
+			t.Fatalf("checkpoint %d marshal: %v", i, err)
+		}
+		var cp Checkpoint
+		if err := json.Unmarshal(raw, &cp); err != nil {
+			t.Fatalf("checkpoint %d unmarshal: %v", i, err)
+		}
+		ropt := opt
+		ropt.Checkpoint = &cp
+		ropt.Seed = 424242 // must be ignored: the RNG restores from the checkpoint
+		got, err := EstimateStreaming(c, spec, ropt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kernel(got) != kernel(want) {
+			t.Errorf("streaming resume from checkpoint %d diverged:\n got  %+v\n want %+v",
+				i+1, kernel(got), kernel(want))
+		}
+	}
+}
+
+// TestPopulationResume covers the precomputed-population flow: resuming
+// against a freshly rebuilt (deterministic) population is bit-identical.
+func TestPopulationResume(t *testing.T) {
+	c, err := Circuit("C432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := PopulationSpec{Size: 3000, Seed: 11}
+	opt := EstimateOptions{Seed: 7, Epsilon: 0.01, MaxHyperSamples: 40}
+
+	pop, err := BuildPopulation(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cps []Checkpoint
+	rec := opt
+	rec.OnCheckpoint = func(cp Checkpoint) { cps = append(cps, cp) }
+	want, err := Estimate(pop, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) < 2 {
+		t.Fatalf("run produced %d checkpoints, need ≥ 2", len(cps))
+	}
+
+	// A "restarted server": new population build from the same spec.
+	pop2, err := BuildPopulation(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropt := opt
+	ropt.Checkpoint = &cps[len(cps)/2]
+	got, err := Estimate(pop2, ropt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kernel(got) != kernel(want) {
+		t.Errorf("population resume diverged:\n got  %+v\n want %+v", kernel(got), kernel(want))
+	}
+}
+
+// TestOptionsRejectBadCheckpoint: Validate catches corrupted resume state.
+func TestOptionsRejectBadCheckpoint(t *testing.T) {
+	opt := EstimateOptions{Checkpoint: &Checkpoint{}}
+	if err := opt.Validate(); err == nil {
+		t.Error("empty checkpoint accepted")
+	}
+}

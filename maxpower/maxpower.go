@@ -34,6 +34,12 @@ import (
 // Result is the estimator outcome; see the fields of evt.Result.
 type Result = evt.Result
 
+// Checkpoint is the resumable state of an estimation run, captured after
+// every completed hyper-sample; see evt.Checkpoint for the determinism
+// contract. It is JSON-serializable, so a service can journal it and
+// resume an interrupted job bit-identically after a crash.
+type Checkpoint = evt.Checkpoint
+
 // Population is a finite vector-pair population with simulated powers.
 type Population = vectorgen.Population
 
@@ -215,6 +221,16 @@ type EstimateOptions struct {
 	// hyper-sample. The callback runs synchronously on the estimating
 	// goroutine and never changes the result (it consumes no randomness).
 	Progress func(ProgressSnapshot)
+	// Checkpoint, when non-nil, resumes an interrupted run from that
+	// state instead of starting fresh: the Seed is ignored (the RNG is
+	// restored from the checkpoint) and the run continues at the next
+	// hyper-sample. All other options and the population/spec must match
+	// the interrupted run's for the bit-identity guarantee to hold.
+	Checkpoint *Checkpoint
+	// OnCheckpoint, when non-nil, receives the run's resumable state
+	// after every completed hyper-sample. Synchronous, consumes no
+	// randomness, never changes the result.
+	OnCheckpoint func(Checkpoint)
 }
 
 // ProgressSnapshot is the running state of an estimation after a
@@ -243,6 +259,11 @@ func (opt EstimateOptions) Validate() error {
 	if opt.Workers < 0 {
 		return fmt.Errorf("maxpower: Workers must be non-negative (0 = NumCPU), got %d", opt.Workers)
 	}
+	if opt.Checkpoint != nil {
+		if err := opt.Checkpoint.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -258,6 +279,8 @@ func (opt EstimateOptions) evtConfig() evt.Config {
 	if opt.Progress != nil {
 		cfg.Observer = evt.ObserverFunc(opt.Progress)
 	}
+	cfg.Resume = opt.Checkpoint
+	cfg.OnCheckpoint = opt.OnCheckpoint
 	return cfg
 }
 
