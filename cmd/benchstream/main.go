@@ -11,12 +11,17 @@
 //	benchstream -circuits C432       # subset
 //	benchstream -iterations 3        # runs per variant (report the mean)
 //	benchstream -o BENCH_streaming.json
+//	benchstream -check BENCH_streaming.json   # regression gate (no output file)
 //
 // Protocol: each variant pins the estimator to 8 hyper-samples at
 // ε = 0.001 (the BenchmarkEstimateStreaming configuration) and times
 // complete runs via testing.Benchmark, single worker, so the number is
 // the single-core cost of the lane-packed engines — comparable across
-// commits on the same machine, not across machines.
+// commits on the same machine, not across machines. Allocation figures
+// (allocs_per_run, bytes_per_run) come from the same runs via
+// -benchmem-style accounting; unlike wall time they ARE comparable
+// across machines, which is why -check gates on bytes_per_run: a >25%
+// growth over the committed baseline fails the build.
 package main
 
 import (
@@ -39,11 +44,13 @@ import (
 
 // Variant is one measured configuration.
 type Variant struct {
-	Circuit string  `json:"circuit"`
-	Model   string  `json:"delay_model"`
-	NsPerOp int64   `json:"ns_per_run"`
-	MsPerOp float64 `json:"ms_per_run"`
-	Units   int     `json:"units_per_run"`
+	Circuit     string  `json:"circuit"`
+	Model       string  `json:"delay_model"`
+	NsPerOp     int64   `json:"ns_per_run"`
+	MsPerOp     float64 `json:"ms_per_run"`
+	Units       int     `json:"units_per_run"`
+	AllocsPerOp int64   `json:"allocs_per_run"`
+	BytesPerOp  int64   `json:"bytes_per_run"`
 }
 
 // Baseline is the emitted document.
@@ -62,6 +69,7 @@ func main() {
 		circuits   = flag.String("circuits", "C432,C3540", "comma-separated benchmark circuits")
 		iterations = flag.Int("iterations", 3, "estimator runs per variant")
 		out        = flag.String("o", "BENCH_streaming.json", "output file (- for stdout)")
+		check      = flag.String("check", "", "baseline file to gate against (fails if bytes_per_run grows >25%); suppresses output file")
 	)
 	flag.Parse()
 
@@ -88,10 +96,18 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "%-8s %-14s %8.1f ms/run (%d units)\n",
-				v.Circuit, v.Model, v.MsPerOp, v.Units)
+			fmt.Fprintf(os.Stderr, "%-8s %-14s %8.1f ms/run %10d B/run %6d allocs/run (%d units)\n",
+				v.Circuit, v.Model, v.MsPerOp, v.BytesPerOp, v.AllocsPerOp, v.Units)
 			base.Variants = append(base.Variants, v)
 		}
+	}
+
+	if *check != "" {
+		if err := checkAgainst(*check, base.Variants); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "benchstream: allocation budget holds against", *check)
+		return
 	}
 
 	enc, err := json.MarshalIndent(base, "", "  ")
@@ -106,6 +122,49 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// checkAgainst compares measured variants with the committed baseline and
+// errors if any variant's bytes_per_run grew more than 25% (with a small
+// absolute floor so near-zero baselines don't trip on kilobyte noise).
+// Wall time is deliberately not gated — it is machine-dependent — but
+// allocation volume is a property of the code.
+func checkAgainst(path string, got []Variant) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want Baseline
+	if err := json.Unmarshal(raw, &want); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	ref := make(map[string]Variant, len(want.Variants))
+	for _, v := range want.Variants {
+		ref[v.Circuit+"/"+v.Model] = v
+	}
+	const (
+		growLimit  = 1.25
+		minGrowthB = 4 << 10 // ignore regressions under 4 KiB/run (seed-set jitter)
+	)
+	var bad []string
+	for _, v := range got {
+		w, ok := ref[v.Circuit+"/"+v.Model]
+		if !ok {
+			continue // new variant: no baseline yet
+		}
+		limit := int64(float64(w.BytesPerOp) * growLimit)
+		if floor := w.BytesPerOp + minGrowthB; limit < floor {
+			limit = floor
+		}
+		if v.BytesPerOp > limit {
+			bad = append(bad, fmt.Sprintf("%s/%s: %d B/run vs baseline %d (limit %d)",
+				v.Circuit, v.Model, v.BytesPerOp, w.BytesPerOp, limit))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bytes_per_run regression:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 // measure times complete single-worker estimator runs of the
@@ -133,6 +192,7 @@ func measure(name string, inputs int, model delay.Model, iterations int) (Varian
 			b.Skip()
 			return
 		}
+		b.ReportAllocs()
 		// Cycle through a fixed seed set so ns/op is the mean over the
 		// same runs whatever iteration count the harness settles on
 		// (low seeds do full-length 8-hyper-sample runs; see
@@ -147,11 +207,13 @@ func measure(name string, inputs int, model delay.Model, iterations int) (Varian
 	}
 	ns := r.NsPerOp()
 	return Variant{
-		Circuit: name,
-		Model:   model.Name(),
-		NsPerOp: ns,
-		MsPerOp: float64(ns) / 1e6,
-		Units:   units,
+		Circuit:     name,
+		Model:       model.Name(),
+		NsPerOp:     ns,
+		MsPerOp:     float64(ns) / 1e6,
+		Units:       units,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
 	}, nil
 }
 

@@ -16,6 +16,12 @@
 //	maxpowerd [-addr :8321] [-workers 4] [-queue 64] [-cache 16]
 //	          [-sim-workers 0] [-drain 30s] [-data DIR]
 //	          [-max-job-duration 0] [-retain-jobs 512] [-retain-ttl 1h]
+//	          [-pprof-addr 127.0.0.1:8322]
+//
+// -pprof-addr starts a SECOND listener serving net/http/pprof (CPU and
+// heap profiles, goroutine dumps). It is off by default and never shares
+// the API listener, so profiling endpoints are only reachable where the
+// operator explicitly binds them (keep it on loopback).
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +51,7 @@ func main() {
 		maxJobDur  = flag.Duration("max-job-duration", 0, "wall-time cap per job; jobs keep their partial estimate (0 = unlimited)")
 		retainJobs = flag.Int("retain-jobs", 0, "max finished jobs kept in the table (0 = default 512, -1 = unlimited)")
 		retainTTL  = flag.Duration("retain-ttl", 0, "finished-job retention TTL (0 = default 1h, -1ns or any negative = no TTL)")
+		pprofAddr  = flag.String("pprof-addr", "", "listen address for the net/http/pprof profiling listener (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -83,6 +91,30 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("maxpowerd listening on %s", *addr)
+	if *pprofAddr != "" {
+		// Profiling rides a dedicated listener with an explicit mux: the
+		// pprof handlers never touch the API server or DefaultServeMux, so
+		// enabling them cannot widen the API surface. No write timeout —
+		// CPU profiles stream for their full -seconds duration.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+		defer pprofSrv.Close()
+		log.Printf("pprof listening on %s", *pprofAddr)
+	}
 	if *dataDir != "" {
 		log.Printf("journaling to %s", *dataDir)
 	}

@@ -48,6 +48,13 @@ type Source interface {
 // simulation of those units may run out of order or in parallel. Under
 // that contract, batched and scalar estimation produce bit-identical
 // Results for any seed and any worker count; the tests enforce it.
+//
+// Allocation contract: the estimator reuses one scratch buffer for all
+// batches, so an implementation that likewise reuses its internal state
+// (vectorgen.StreamSource keeps the batch as packed bit planes end to
+// end) makes the steady-state sampling loop allocation-free — no []bool
+// or other per-unit value is ever materialized between the RNG and the
+// fitted maxima.
 type BatchSource interface {
 	Source
 	// SampleBatch fills dst with len(dst) unit powers.
@@ -300,10 +307,12 @@ type Result struct {
 // the source also implements BatchSource, each hyper-sample's m·n unit
 // powers are drawn as one batch (same results, amortized cost).
 type Estimator struct {
-	cfg   Config
-	src   Source
-	batch BatchSource // non-nil when src supports bulk sampling
-	buf   []float64   // scratch for one hyper-sample's m·n unit powers
+	cfg    Config
+	src    Source
+	batch  BatchSource    // non-nil when src supports bulk sampling
+	buf    []float64      // scratch for one hyper-sample's m·n unit powers
+	maxBuf []float64      // scratch for one hyper-sample's m sample-maxima
+	fitter weibull.Fitter // owns the MLE scratch: refits allocate nothing
 }
 
 // New builds an estimator; cfg fields at zero take the paper's defaults.
@@ -330,8 +339,14 @@ func (e *Estimator) Config() Config { return e.cfg }
 func (e *Estimator) HyperSample(rng *stats.RNG) HyperSampleResult {
 	cfg := e.cfg
 	res := HyperSampleResult{ObservedMax: math.Inf(-1)}
+	if cap(e.maxBuf) < cfg.SamplesPerHyper {
+		e.maxBuf = make([]float64, cfg.SamplesPerHyper)
+	}
 	for attempt := 0; ; attempt++ {
-		maxima := make([]float64, cfg.SamplesPerHyper)
+		// Reused scratch: drawMaxima overwrites every entry and the fit
+		// does not retain the slice, so the sampling loop allocates
+		// nothing per attempt.
+		maxima := e.maxBuf[:cfg.SamplesPerHyper]
 		simStart := time.Now()
 		e.drawMaxima(rng, maxima)
 		res.SimTime += time.Since(simStart)
@@ -342,7 +357,7 @@ func (e *Estimator) HyperSample(rng *stats.RNG) HyperSampleResult {
 			}
 		}
 		fitStart := time.Now()
-		fit, err := weibull.FitMLEShape(maxima, cfg.AlphaMin)
+		fit, err := e.fitter.FitMLEShape(maxima, cfg.AlphaMin)
 		if err == nil {
 			// Plausibility guard: the right endpoint of the maxima's law
 			// cannot credibly sit further above the largest observed

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/delay"
+	"repro/internal/sim"
 )
 
 func TestZeroDelayBatchMatchesSerial(t *testing.T) {
@@ -133,5 +134,85 @@ func TestZeroDelayBatchRejectsTimed(t *testing.T) {
 	e0 := NewEvaluator(c, delay.Zero{}, Params{})
 	if _, err := e0.ZeroDelayBatchMW([][]bool{v}, nil); err == nil {
 		t.Fatal("mismatched batch accepted")
+	}
+}
+
+// TestBatchMWPackedMatchesSerial is the power-level differential for the
+// packed entry point: bit-plane batches must produce bit-identical powers
+// to per-pair CyclePowerMW on both engine classes, across full blocks and
+// a partial tail, and validate input shape.
+func TestBatchMWPackedMatchesSerial(t *testing.T) {
+	c := bench.MustGenerate("C880")
+	nIn := c.NumInputs()
+	pattern := func(seed uint64) []bool {
+		v := make([]bool, nIn)
+		x := seed
+		for i := range v {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			v[i] = x&1 != 0
+		}
+		return v
+	}
+	const n = 150 // two full blocks plus a 22-lane tail
+	for _, m := range []delay.Model{delay.Zero{}, delay.FanoutLoaded{}, delay.StandardTable()} {
+		e := NewEvaluator(c, m, Params{})
+		var pp sim.PackedPairs
+		pp.Reset(nIn, n)
+		v1s := make([][]bool, n)
+		v2s := make([][]bool, n)
+		for i := 0; i < n; i++ {
+			v1s[i] = pattern(uint64(7*i + 1))
+			v2s[i] = pattern(uint64(7*i + 4))
+			pp.SetPair(i, v1s[i], v2s[i])
+		}
+		out := make([]float64, n)
+		if err := e.BatchMWPacked(&pp, out); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if want := e.CyclePowerMW(v1s[i], v2s[i]); out[i] != want {
+				t.Fatalf("%s pair %d: packed %v serial %v", m.Name(), i, out[i], want)
+			}
+		}
+		// Shape validation: wrong out length and wrong input width.
+		if err := e.BatchMWPacked(&pp, out[:n-1]); err == nil {
+			t.Fatal("short out slice accepted")
+		}
+		var bad sim.PackedPairs
+		bad.Reset(nIn+1, 64)
+		if err := e.BatchMWPacked(&bad, make([]float64, 64)); err == nil {
+			t.Fatal("width mismatch accepted")
+		}
+	}
+}
+
+// TestBatchMWPackedZeroAlloc guards the per-block core: with warm engine
+// scratch, evaluating a packed zero-delay block allocates nothing.
+func TestBatchMWPackedZeroAlloc(t *testing.T) {
+	c := bench.MustGenerate("C432")
+	e := NewEvaluator(c, delay.Zero{}, Params{})
+	var pp sim.PackedPairs
+	pp.Reset(c.NumInputs(), 64)
+	for i := 0; i < 64; i++ {
+		v := make([]bool, c.NumInputs())
+		for j := range v {
+			v[j] = (i+j)%2 == 0
+		}
+		pp.SetPair(i, v, v)
+	}
+	in1, in2, _ := pp.Block(0)
+	out := make([]float64, 64)
+	if err := e.PackedBlockMW(in1, in2, out); err != nil {
+		t.Fatal(err) // warm the lane scratch
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := e.PackedBlockMW(in1, in2, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PackedBlockMW allocated %v objects per block, want 0", allocs)
 	}
 }

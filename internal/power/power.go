@@ -120,6 +120,12 @@ type Evaluator struct {
 
 	batch *sim.BitParallel // lazily created 64-lane settle engine (zero delay)
 	timed *sim.TimedBatch  // lazily created 64-lane timed engine (glitch-aware)
+
+	// pack1/pack2 are the [][]bool-adapter pack scratch, reused across
+	// calls so the legacy batch entry points stop allocating per call.
+	// The packed core never touches them: callers of the packed APIs own
+	// their planes (one PackedPairs per source, reused per batch).
+	pack1, pack2 []uint64
 }
 
 // NewEvaluator builds an evaluator for the circuit under a delay model and
@@ -210,7 +216,8 @@ func (e *Evaluator) ZeroDelay() bool { return e.simulator.ZeroDelay() }
 // ZeroDelayBatchMW evaluates up to 64 vector pairs in one pass using the
 // 64-lane bit-parallel engine and returns their cycle powers in mW. It
 // requires a zero-delay evaluator (the timed path cannot be lane-packed);
-// results are bit-identical to calling CyclePowerMW per pair.
+// results are bit-identical to calling CyclePowerMW per pair. It is a
+// thin [][]bool adapter over the packed core (zeroDelayBlockMW).
 func (e *Evaluator) ZeroDelayBatchMW(v1s, v2s [][]bool) ([]float64, error) {
 	if !e.ZeroDelay() {
 		return nil, fmt.Errorf("power: batch evaluation requires the zero-delay model")
@@ -221,16 +228,32 @@ func (e *Evaluator) ZeroDelayBatchMW(v1s, v2s [][]bool) ([]float64, error) {
 	if e.batch == nil {
 		e.batch = sim.NewBitParallel(e.Circuit())
 	}
-	in1, err := e.batch.PackInputs(v1s)
-	if err != nil {
+	var err error
+	if e.pack1, err = e.batch.PackInputsInto(e.pack1, v1s); err != nil {
 		return nil, err
 	}
-	in2, err := e.batch.PackInputs(v2s)
-	if err != nil {
+	if e.pack2, err = e.batch.PackInputsInto(e.pack2, v2s); err != nil {
 		return nil, err
+	}
+	out := make([]float64, len(v1s))
+	e.zeroDelayBlockMW(e.pack1, e.pack2, out)
+	return out, nil
+}
+
+// zeroDelayBlockMW is the packed zero-delay core: one 64-lane block of
+// pre-packed bit planes (one word per primary input) in, len(out) ≤ 64
+// lane powers (mW) out, zero heap allocations in steady state. The energy
+// accumulation visits gates in ascending order with one add per toggled
+// gate, so every lane's float64 sum is bit-identical to the scalar
+// energyOf path.
+func (e *Evaluator) zeroDelayBlockMW(in1, in2 []uint64, out []float64) {
+	if e.batch == nil {
+		e.batch = sim.NewBitParallel(e.Circuit())
 	}
 	masks := e.batch.CycleDiff(in1, in2)
-	out := make([]float64, len(v1s))
+	for i := range out {
+		out[i] = 0
+	}
 	for g, w := range masks {
 		if w == 0 {
 			continue
@@ -247,7 +270,6 @@ func (e *Evaluator) ZeroDelayBatchMW(v1s, v2s [][]bool) ([]float64, error) {
 	for i := range out {
 		out[i] = (out[i]/e.clockS + e.leakW) * 1e3
 	}
-	return out, nil
 }
 
 // TimedBatchMW evaluates up to 64 vector pairs in one pass of the
@@ -267,16 +289,30 @@ func (e *Evaluator) TimedBatchMW(v1s, v2s [][]bool) ([]float64, error) {
 	if e.timed == nil {
 		e.timed = sim.NewTimedBatchDelays(e.Circuit(), e.simulator.DelaysPS())
 	}
-	in1, err := e.timed.PackInputs(v1s)
-	if err != nil {
+	var err error
+	if e.pack1, err = e.timed.PackInputsInto(e.pack1, v1s); err != nil {
 		return nil, err
 	}
-	in2, err := e.timed.PackInputs(v2s)
-	if err != nil {
+	if e.pack2, err = e.timed.PackInputsInto(e.pack2, v2s); err != nil {
 		return nil, err
+	}
+	out := make([]float64, len(v1s))
+	e.timedBlockMW(e.pack1, e.pack2, out)
+	return out, nil
+}
+
+// timedBlockMW is the packed timed core: one 64-lane block of pre-packed
+// bit planes in, len(out) ≤ 64 glitch-weighted lane powers (mW) out,
+// allocation-free in steady state (the TimedBatch engine reuses its
+// calendar and toggle planes across calls).
+func (e *Evaluator) timedBlockMW(in1, in2 []uint64, out []float64) {
+	if e.timed == nil {
+		e.timed = sim.NewTimedBatchDelays(e.Circuit(), e.simulator.DelaysPS())
 	}
 	res := e.timed.RunCycles(in1, in2)
-	out := make([]float64, len(v1s))
+	for i := range out {
+		out[i] = 0
+	}
 	for g, any := range res.Any {
 		if any == 0 {
 			continue
@@ -310,20 +346,60 @@ func (e *Evaluator) TimedBatchMW(v1s, v2s [][]bool) ([]float64, error) {
 	for i := range out {
 		out[i] = (out[i]/e.clockS + e.leakW) * 1e3
 	}
-	return out, nil
 }
 
 // BatchMW evaluates up to 64 vector pairs through the delay model's
 // lane-packed engine: the bit-parallel settle path under zero delay, the
 // event-driven TimedBatch otherwise. Either way the results are
-// bit-identical to per-pair CyclePowerMW calls — this is the single batch
-// entry point the simulation engines above (vectorgen) use for every
-// delay model.
+// bit-identical to per-pair CyclePowerMW calls. It is the [][]bool
+// adapter; the sampling pipeline itself feeds pre-packed planes to
+// BatchMWPacked and never materializes [][]bool.
 func (e *Evaluator) BatchMW(v1s, v2s [][]bool) ([]float64, error) {
 	if e.ZeroDelay() {
 		return e.ZeroDelayBatchMW(v1s, v2s)
 	}
 	return e.TimedBatchMW(v1s, v2s)
+}
+
+// BatchMWPacked evaluates a whole packed batch — any number of pairs, in
+// 64-lane bit-plane blocks — into out (mW), which must be exactly pp.N
+// long. This is the native entry point of the sampling pipeline: no
+// [][]bool is materialized, no per-call transpose happens, and after the
+// lazily-built lane engine warms up the call performs zero heap
+// allocations. Results are bit-identical to per-pair CyclePowerMW calls
+// for every delay model.
+func (e *Evaluator) BatchMWPacked(pp *sim.PackedPairs, out []float64) error {
+	if len(out) != pp.N {
+		return fmt.Errorf("power: %d power slots for %d packed pairs", len(out), pp.N)
+	}
+	for b := 0; b < pp.Blocks(); b++ {
+		in1, in2, lanes := pp.Block(b)
+		if err := e.PackedBlockMW(in1, in2, out[b*64:b*64+lanes]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PackedBlockMW evaluates one 64-lane block of pre-packed bit planes
+// (one word per primary input, lanes beyond len(out) inert) into out
+// (1–64 lane powers, mW), dispatching on the delay model exactly like
+// BatchMW. The workhorse of BatchMWPacked, exposed so a worker pool can
+// split a batch at block granularity; allocation-free in steady state.
+func (e *Evaluator) PackedBlockMW(in1, in2 []uint64, out []float64) error {
+	n := e.Circuit().NumInputs()
+	if len(in1) != n || len(in2) != n {
+		return fmt.Errorf("power: packed block width %d/%d, circuit has %d inputs", len(in1), len(in2), n)
+	}
+	if len(out) == 0 || len(out) > 64 {
+		return fmt.Errorf("power: packed block of %d lanes (want 1–64)", len(out))
+	}
+	if e.ZeroDelay() {
+		e.zeroDelayBlockMW(in1, in2, out)
+	} else {
+		e.timedBlockMW(in1, in2, out)
+	}
+	return nil
 }
 
 // CycleDetail returns cycle power (W) along with the simulator's settle

@@ -89,11 +89,24 @@ func (bp *BitParallel) settleInto(dst []uint64, inputs []uint64) {
 // packInputs packs up to 64 input vectors (each of circuit width) into one
 // lane word per primary input: word i bit l = vectors[l][i].
 func packInputs(c *netlist.Circuit, vectors [][]bool) ([]uint64, error) {
+	return packInputsInto(nil, c, vectors)
+}
+
+// packInputsInto is packInputs with a caller-provided destination: dst is
+// grown only when its capacity is short, so an evaluator-owned scratch
+// buffer makes the [][]bool adapters allocation-free after warmup.
+func packInputsInto(dst []uint64, c *netlist.Circuit, vectors [][]bool) ([]uint64, error) {
 	if len(vectors) == 0 || len(vectors) > 64 {
 		return nil, fmt.Errorf("sim: batch of %d vectors (want 1–64)", len(vectors))
 	}
 	n := c.NumInputs()
-	words := make([]uint64, n)
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	words := dst[:n]
+	for i := range words {
+		words[i] = 0
+	}
 	for l, v := range vectors {
 		if len(v) != n {
 			return nil, fmt.Errorf("sim: vector %d has %d bits, circuit has %d inputs", l, len(v), n)
@@ -116,6 +129,12 @@ func packInputs(c *netlist.Circuit, vectors [][]bool) ([]uint64, error) {
 // lane word per primary input: word i bit l = vectors[l][i].
 func (bp *BitParallel) PackInputs(vectors [][]bool) ([]uint64, error) {
 	return packInputs(bp.c, vectors)
+}
+
+// PackInputsInto is PackInputs writing into dst (grown only when short),
+// for callers that reuse a scratch buffer across calls.
+func (bp *BitParallel) PackInputsInto(dst []uint64, vectors [][]bool) ([]uint64, error) {
+	return packInputsInto(dst, bp.c, vectors)
 }
 
 // CycleDiff computes, for each gate, the lane mask of zero-delay toggles

@@ -340,6 +340,12 @@ func (tb *TimedBatch) PackInputs(vectors [][]bool) ([]uint64, error) {
 	return packInputs(tb.c, vectors)
 }
 
+// PackInputsInto is PackInputs writing into dst (grown only when short),
+// for callers that reuse a scratch buffer across calls.
+func (tb *TimedBatch) PackInputsInto(dst []uint64, vectors [][]bool) ([]uint64, error) {
+	return packInputsInto(dst, tb.c, vectors)
+}
+
 // evalWord computes logic gate f's value word from the current fanin words
 // through the compact tables — semantically identical to evalGateWord but
 // without touching the Gate structs on the event-loop hot path. One- and

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/power"
+	"repro/internal/sim"
 )
 
 // evalEngine is the shared simulation backend of Build and
@@ -77,6 +78,69 @@ func (e *evalEngine) evaluate(pairs []Pair, powers []float64) error {
 	for _, err := range errs {
 		if err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// evaluatePacked fills powers[i] with the cycle power (mW) of pp's pair
+// i — the packed twin of evaluate, and the pipeline's native path: the
+// planes feed the lane engines directly, so no [][]bool and no per-call
+// transpose exist anywhere under it. Work is chunked across the worker
+// pool at 64-pair block granularity (each worker owns whole blocks, so
+// every write still lands at its own index and results stay bit-identical
+// for any worker count). The single-worker path runs inline and performs
+// zero heap allocations in steady state; multi-worker calls pay only the
+// goroutine fan-out.
+func (e *evalEngine) evaluatePacked(pp *sim.PackedPairs, powers []float64) error {
+	if pp.N != len(powers) {
+		return fmt.Errorf("vectorgen: %d packed pairs but %d power slots", pp.N, len(powers))
+	}
+	if pp.N == 0 {
+		return nil
+	}
+	blocks := pp.Blocks()
+	workers := e.workers
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers == 1 {
+		return evalBlocks(e.evals[0], pp, 0, blocks, powers)
+	}
+	chunk := (blocks + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > blocks {
+			hi = blocks
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = evalBlocks(e.evals[w], pp, lo, hi, powers)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalBlocks evaluates blocks [lo, hi) of pp into their power slots
+// through one worker's evaluator.
+func evalBlocks(ev *power.Evaluator, pp *sim.PackedPairs, lo, hi int, powers []float64) error {
+	for b := lo; b < hi; b++ {
+		in1, in2, lanes := pp.Block(b)
+		if err := ev.PackedBlockMW(in1, in2, powers[b*64:b*64+lanes]); err != nil {
+			return fmt.Errorf("vectorgen: packed evaluation: %w", err)
 		}
 	}
 	return nil

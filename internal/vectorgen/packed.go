@@ -1,0 +1,133 @@
+package vectorgen
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// planeGenerator is the packed fast path of Generator: generateInto
+// writes one pair straight into a block's bit planes (in1/in2, one word
+// per primary input) at the given lane, never materializing []bool.
+//
+// RNG draw-order invariant: generateInto must consume the RNG exactly as
+// Generate would for the same pair — one Uint64 per 64 input bits of a
+// uniform vector (bit i of the vector taken from bit i%64 of draw i/64),
+// then the per-input flip draws in input order. Under that invariant the
+// packed pipeline is bit-identical to the historical []bool one for any
+// seed, which the differential tests enforce for every generator.
+//
+// The target lane of both planes must be zero on entry (PackedPairs.Reset
+// guarantees it); generateInto may OR bits in without clearing.
+type planeGenerator interface {
+	Generator
+	generateInto(rng *stats.RNG, in1, in2 []uint64, lane uint)
+}
+
+// GeneratePacked fills pp with n = pp.N pairs drawn sequentially from
+// gen — the packed twin of n Generate calls, consuming the RNG
+// identically (lane-major: pair 0 first, each pair's draws in Generate's
+// order). pp must have been Reset to gen.Inputs() width. Generators
+// implementing planeGenerator write their bits directly into the planes
+// with zero heap allocations; any other Generator is adapted through
+// Generate + SetPair (same bits, same RNG stream, two transient slices
+// per pair).
+func GeneratePacked(gen Generator, rng *stats.RNG, pp *sim.PackedPairs) {
+	pg, planar := gen.(planeGenerator)
+	inputs := pp.Inputs
+	for i := 0; i < pp.N; i++ {
+		if planar {
+			base := (i / 64) * inputs
+			pg.generateInto(rng, pp.In1[base:base+inputs], pp.In2[base:base+inputs], uint(i&63))
+			continue
+		}
+		p := gen.Generate(rng)
+		pp.SetPair(i, p.V1, p.V2)
+	}
+}
+
+// randomPlane draws a uniform vector into bit lane of the plane words,
+// consuming the RNG exactly like randomVector: one Uint64 per 64 input
+// bits, vector bit i = bit i%64 of draw i/64. The plane's lane bit must
+// be zero on entry.
+func randomPlane(rng *stats.RNG, plane []uint64, lane uint) {
+	var bits uint64
+	for i := range plane {
+		if i%64 == 0 {
+			bits = rng.Uint64()
+		}
+		plane[i] |= (bits & 1) << lane
+		bits >>= 1
+	}
+}
+
+// generateInto implements planeGenerator.
+func (u Uniform) generateInto(rng *stats.RNG, in1, in2 []uint64, lane uint) {
+	randomPlane(rng, in1, lane)
+	randomPlane(rng, in2, lane)
+}
+
+// generateInto implements planeGenerator.
+func (h HighActivity) generateInto(rng *stats.RNG, in1, in2 []uint64, lane uint) {
+	lo := h.MinActivity
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > 1 {
+		lo = 1
+	}
+	skew := h.Skew
+	if skew <= 0 {
+		skew = DefaultActivitySkew
+	}
+	act := lo + (1-lo)*math.Pow(rng.Float64(), skew)
+	randomPlane(rng, in1, lane)
+	for i := range in1 {
+		b := in1[i] >> lane & 1
+		if rng.Bool(act) {
+			b ^= 1
+		}
+		in2[i] |= b << lane
+	}
+}
+
+// generateInto implements planeGenerator.
+func (c Constrained) generateInto(rng *stats.RNG, in1, in2 []uint64, lane uint) {
+	randomPlane(rng, in1, lane)
+	for i := range in1 {
+		b := in1[i] >> lane & 1
+		if rng.Bool(c.Probs[i]) {
+			b ^= 1
+		}
+		in2[i] |= b << lane
+	}
+}
+
+// generateInto implements planeGenerator. Unlike the other generators it
+// allocates (Validate, the grouped membership scratch) exactly as
+// Generate does; Grouped populations are built once, not streamed.
+func (g Grouped) generateInto(rng *stats.RNG, in1, in2 []uint64, lane uint) {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	randomPlane(rng, in1, lane)
+	for i := range in2 {
+		in2[i] |= ((in1[i] >> lane) & 1) << lane
+	}
+	grouped := make([]bool, g.N)
+	for gi, grp := range g.Groups {
+		flip := rng.Bool(g.Probs[gi])
+		for _, i := range grp {
+			grouped[i] = true
+			if flip {
+				in2[i] ^= 1 << lane
+			}
+		}
+	}
+	for i := range in2 {
+		if !grouped[i] && rng.Bool(g.Default) {
+			in2[i] ^= 1 << lane
+		}
+	}
+}

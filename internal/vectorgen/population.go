@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/power"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -26,9 +27,13 @@ type Options struct {
 // paper's |V| is Size(), its ω(F) is TrueMax(), and the "qualified units"
 // census of Tables 1–4 is QualifiedFraction.
 type Population struct {
-	name    string
-	powers  []float64 // cycle power per unit, milliwatts
-	pairs   []Pair    // nil unless Options.KeepPairs
+	name   string
+	powers []float64 // cycle power per unit, milliwatts
+	// packed retains the raw vectors in bit-plane form (2 bits per input
+	// bit instead of the 2 bytes of a []bool pair — ≈8× smaller, which is
+	// what lets the service LRU hold KeepPairs populations); nil unless
+	// Options.KeepPairs. Pair unpacks on demand.
+	packed  *sim.PackedPairs
 	maxIdx  int
 	sumMW   float64
 	unitsIn int // input width, for reporting
@@ -48,14 +53,18 @@ func Build(eval *power.Evaluator, gen Generator, opt Options) (*Population, erro
 			gen.Inputs(), eval.Circuit().Name, eval.Circuit().NumInputs())
 	}
 
+	// Generate straight into bit planes: the packed batch is the native
+	// currency of the evaluation engines, so the [][]bool intermediary
+	// (one heap slice per vector) no longer exists on this path. The RNG
+	// is consumed pair by pair in Generate's exact draw order, so the
+	// population is bit-identical to the historical []bool construction.
 	rng := stats.NewRNG(opt.Seed)
-	pairs := make([]Pair, opt.Size)
-	for i := range pairs {
-		pairs[i] = gen.Generate(rng)
-	}
+	pp := &sim.PackedPairs{}
+	pp.Reset(gen.Inputs(), opt.Size)
+	GeneratePacked(gen, rng, pp)
 
 	powers := make([]float64, opt.Size)
-	if err := newEvalEngine(eval, opt.Workers).evaluate(pairs, powers); err != nil {
+	if err := newEvalEngine(eval, opt.Workers).evaluatePacked(pp, powers); err != nil {
 		return nil, err
 	}
 
@@ -71,7 +80,7 @@ func Build(eval *power.Evaluator, gen Generator, opt Options) (*Population, erro
 		}
 	}
 	if opt.KeepPairs {
-		p.pairs = pairs
+		p.packed = pp
 	}
 	return p, nil
 }
@@ -104,17 +113,28 @@ func (p *Population) Power(i int) float64 { return p.powers[i] }
 // Powers returns the full power vector (callers must not modify it).
 func (p *Population) Powers() []float64 { return p.powers }
 
-// Pair returns the vectors of unit i; it panics if the population was
-// built without KeepPairs.
+// Pair returns the vectors of unit i, unpacked from the bit-plane store
+// into fresh slices; it panics if the population was built without
+// KeepPairs.
 func (p *Population) Pair(i int) Pair {
-	if p.pairs == nil {
+	if p.packed == nil {
 		panic("vectorgen: population built without KeepPairs")
 	}
-	return p.pairs[i]
+	v1, v2 := p.packed.Pair(i)
+	return Pair{V1: v1, V2: v2}
 }
 
 // HasPairs reports whether raw vectors were retained.
-func (p *Population) HasPairs() bool { return p.pairs != nil }
+func (p *Population) HasPairs() bool { return p.packed != nil }
+
+// PairBytes reports the memory held by the retained vectors (0 without
+// KeepPairs) — bit-plane packed, ≈8× below the equivalent []bool pairs.
+func (p *Population) PairBytes() int {
+	if p.packed == nil {
+		return 0
+	}
+	return p.packed.MemoryBytes()
+}
 
 // TrueMax returns ω(F), the actual maximum power of the population (mW).
 func (p *Population) TrueMax() float64 { return p.powers[p.maxIdx] }

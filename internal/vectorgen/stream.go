@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/faultpoint"
 	"repro/internal/power"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -38,8 +39,8 @@ type StreamSource struct {
 	// (0 = NumCPU). It never affects results, only wall time.
 	Workers int
 
-	eng       *evalEngine // lazily built; rebuilt when Workers changes
-	pairBuf   []Pair
+	eng       *evalEngine     // lazily built; rebuilt when Workers changes
+	packed    sim.PackedPairs // reused per batch: the bit-plane batch buffer
 	simulated atomic.Int64
 	batchErr  error
 }
@@ -72,29 +73,32 @@ func (s *StreamSource) SamplePower(rng *stats.RNG) float64 {
 }
 
 // SampleBatch implements evt.BatchSource: generate len(dst) pairs
-// sequentially, then simulate them in parallel into dst. A simulation
-// error from the batch engine is recorded (see BatchErr) and the affected
-// pairs re-evaluate on the scalar path, so dst is always fully valid.
+// sequentially into the reused bit-plane buffer, then simulate them in
+// parallel into dst. The packed batch is the pipeline's native currency,
+// so the steady-state call (built-in generator, warm buffers, Workers=1)
+// performs zero heap allocations — testing.AllocsPerRun guards it. A
+// simulation error from the batch engine is recorded (see BatchErr) and
+// the affected pairs re-evaluate on the scalar oracle, so dst is always
+// fully valid.
 func (s *StreamSource) SampleBatch(rng *stats.RNG, dst []float64) {
-	if cap(s.pairBuf) < len(dst) {
-		s.pairBuf = make([]Pair, len(dst))
-	}
-	pairs := s.pairBuf[:len(dst)]
-	for i := range pairs {
-		pairs[i] = s.gen.Generate(rng)
-	}
+	s.packed.Reset(s.gen.Inputs(), len(dst))
+	GeneratePacked(s.gen, rng, &s.packed)
 	s.simulated.Add(int64(len(dst)))
-	err := s.engine().evaluate(pairs, dst)
+	err := s.engine().evaluatePacked(&s.packed, dst)
 	if ferr := faultpoint.Hit("vectorgen/sample-batch"); ferr != nil {
 		err = ferr // injected batch-simulation failure (chaos tests)
 	}
 	if err != nil {
-		// Bit-parallel evaluation is bit-identical to the scalar path, so
+		// Packed evaluation is bit-identical to the scalar path, so
 		// recovering serially preserves the determinism contract while the
-		// recorded error keeps the failure visible.
+		// recorded error keeps the failure visible. The pairs are unpacked
+		// from the very planes the batch engine saw.
 		s.batchErr = err
-		for i, p := range pairs {
-			dst[i] = s.eval.CyclePowerMW(p.V1, p.V2)
+		v1 := make([]bool, s.packed.Inputs)
+		v2 := make([]bool, s.packed.Inputs)
+		for i := range dst {
+			s.packed.PairInto(i, v1, v2)
+			dst[i] = s.eval.CyclePowerMW(v1, v2)
 		}
 	}
 }

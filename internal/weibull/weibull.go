@@ -132,6 +132,39 @@ var ErrDegenerate = errors.New("weibull: degenerate sample")
 // back to the empirical maximum.
 var ErrNoInteriorMax = errors.New("weibull: profile likelihood has no interior maximum")
 
+// Fitter owns the scratch buffers and reusable closures of the
+// profile-likelihood machinery, so a long-lived caller that refits after
+// every hyper-sample (the estimator's steady state) allocates nothing per
+// fit once the buffers are warm. The zero value is ready to use. A Fitter
+// is NOT safe for concurrent use; the package-level FitMLE/FitMLEShape
+// wrappers construct a fresh one per call and remain goroutine-safe.
+type Fitter struct {
+	y, ys, logs []float64
+
+	// shapeEq inputs, hoisted to fields so the closure handed to the
+	// bisection solver is built once per Fitter rather than once per call.
+	n      int
+	m, s0  float64
+	shapeF func(float64) float64
+
+	// negProfile inputs for the golden-section refine, same idea.
+	xs       []float64
+	xmax     float64
+	alphaMin float64
+	negF     func(float64) float64
+}
+
+// scratch returns len-n views of the shift and scaled-sample buffers,
+// growing them only when the sample outgrows the capacity.
+func (ft *Fitter) scratch(n int) (y, ys, logs []float64) {
+	if cap(ft.y) < n {
+		ft.y = make([]float64, n)
+		ft.ys = make([]float64, n)
+		ft.logs = make([]float64, n)
+	}
+	return ft.y[:n], ft.ys[:n], ft.logs[:n]
+}
+
 // shapeMLE solves the profile shape equation for fixed μ on the shifted
 // sample y = μ − x (all entries must be positive):
 //
@@ -140,7 +173,7 @@ var ErrNoInteriorMax = errors.New("weibull: profile likelihood has no interior m
 // subject to α ≥ alphaMin. The left side is strictly decreasing in α, so
 // when it is already non-positive at alphaMin the constrained optimum sits
 // on the boundary. Returns (α, logβ, ok).
-func shapeMLE(y []float64, alphaMin float64) (alpha, logBeta float64, ok bool) {
+func (ft *Fitter) shapeMLE(y []float64, alphaMin float64) (alpha, logBeta float64, ok bool) {
 	m := float64(len(y))
 	// Scale by the maximum for overflow safety; the equation is
 	// scale-invariant, and β is recovered in log space afterwards.
@@ -153,8 +186,7 @@ func shapeMLE(y []float64, alphaMin float64) (alpha, logBeta float64, ok bool) {
 	if c == 0 {
 		return 0, 0, false
 	}
-	ys := make([]float64, len(y))
-	logs := make([]float64, len(y))
+	_, ys, logs := ft.scratch(len(y))
 	allEqual := true
 	for i, v := range y {
 		ys[i] = v / c
@@ -170,15 +202,20 @@ func shapeMLE(y []float64, alphaMin float64) (alpha, logBeta float64, ok bool) {
 	for _, l := range logs {
 		s0 += l
 	}
-	f := func(a float64) float64 {
-		var A, B float64
-		for i, v := range ys {
-			p := math.Pow(v, a)
-			B += p
-			A += p * logs[i]
+	ft.n, ft.m, ft.s0 = len(y), m, s0
+	if ft.shapeF == nil {
+		ft.shapeF = func(a float64) float64 {
+			var A, B float64
+			ys, logs := ft.ys[:ft.n], ft.logs[:ft.n]
+			for i, v := range ys {
+				p := math.Pow(v, a)
+				B += p
+				A += p * logs[i]
+			}
+			return ft.m/a + ft.s0 - ft.m*A/B
 		}
-		return m/a + s0 - m*A/B
 	}
+	f := ft.shapeF
 	if alphaMin <= 0 {
 		alphaMin = 1e-6
 	}
@@ -213,9 +250,9 @@ func shapeMLE(y []float64, alphaMin float64) (alpha, logBeta float64, ok bool) {
 // profileLogLik returns the profile log-likelihood at location mu, i.e.
 // the log-likelihood maximized over (α ≥ alphaMin, β) for that μ.
 // ℓ*(μ) = m·log α̂ + m·log β̂ + (α̂−1)·Σ log yᵢ − m.
-func profileLogLik(xs []float64, mu, alphaMin float64) (ll float64, d Dist, ok bool) {
+func (ft *Fitter) profileLogLik(xs []float64, mu, alphaMin float64) (ll float64, d Dist, ok bool) {
 	m := float64(len(xs))
-	y := make([]float64, len(xs))
+	y, _, _ := ft.scratch(len(xs))
 	var s0 float64
 	for i, x := range xs {
 		v := mu - x
@@ -225,7 +262,7 @@ func profileLogLik(xs []float64, mu, alphaMin float64) (ll float64, d Dist, ok b
 		y[i] = v
 		s0 += math.Log(v)
 	}
-	a, logB, ok := shapeMLE(y, alphaMin)
+	a, logB, ok := ft.shapeMLE(y, alphaMin)
 	if !ok {
 		return math.Inf(-1), Dist{}, false
 	}
@@ -257,6 +294,14 @@ func FitMLE(xs []float64) (FitResult, error) {
 	return FitMLEShape(xs, DefaultAlphaMin)
 }
 
+// FitMLEShape is the goroutine-safe form of Fitter.FitMLEShape: it builds
+// a fresh Fitter per call, trading per-fit scratch allocations for
+// statelessness. Hot loops hold a Fitter instead.
+func FitMLEShape(xs []float64, alphaMin float64) (FitResult, error) {
+	var ft Fitter
+	return ft.FitMLEShape(xs, alphaMin)
+}
+
 // FitMLEShape computes the maximum-likelihood reverse-Weibull fit with
 // shape constrained to α ≥ alphaMin, by profiling the likelihood over μ:
 // an outer bracketed golden-section search on μ with the inner
@@ -264,8 +309,10 @@ func FitMLE(xs []float64) (FitResult, error) {
 // values. When the profile likelihood has no interior maximum over μ it
 // returns ErrNoInteriorMax. Passing alphaMin ≤ 0 removes the constraint
 // (which reintroduces the unbounded-likelihood pathology for small
-// samples — useful only for ablation).
-func FitMLEShape(xs []float64, alphaMin float64) (FitResult, error) {
+// samples — useful only for ablation). The fit does not retain xs. At
+// steady state (warm scratch, same sample size) it performs no heap
+// allocations.
+func (ft *Fitter) FitMLEShape(xs []float64, alphaMin float64) (FitResult, error) {
 	if len(xs) < 3 {
 		return FitResult{}, ErrDegenerate
 	}
@@ -293,10 +340,11 @@ func FitMLEShape(xs []float64, alphaMin float64) (FitResult, error) {
 		off float64
 		ll  float64
 	}
-	grid := make([]pt, 0, gridN)
+	var gridArr [gridN]pt // stack-resident: the grid never escapes
+	grid := gridArr[:0]
 	off := loOff
 	for i := 0; i < gridN; i++ {
-		ll, _, ok := profileLogLik(xs, xmax+off, alphaMin)
+		ll, _, ok := ft.profileLogLik(xs, xmax+off, alphaMin)
 		if ok {
 			grid = append(grid, pt{off: off, ll: ll})
 		}
@@ -320,15 +368,19 @@ func FitMLEShape(xs []float64, alphaMin float64) (FitResult, error) {
 	// Golden-section refine on log-offset between the bracket neighbours.
 	lo := math.Log(grid[best-1].off)
 	hi := math.Log(grid[best+1].off)
-	neg := func(t float64) float64 {
-		ll, _, ok := profileLogLik(xs, xmax+math.Exp(t), alphaMin)
-		if !ok {
-			return math.Inf(1)
+	ft.xs, ft.xmax, ft.alphaMin = xs, xmax, alphaMin
+	if ft.negF == nil {
+		ft.negF = func(t float64) float64 {
+			ll, _, ok := ft.profileLogLik(ft.xs, ft.xmax+math.Exp(t), ft.alphaMin)
+			if !ok {
+				return math.Inf(1)
+			}
+			return -ll
 		}
-		return -ll
 	}
-	tOpt := stats.GoldenSection(neg, lo, hi, 1e-10)
-	ll, d, ok := profileLogLik(xs, xmax+math.Exp(tOpt), alphaMin)
+	tOpt := stats.GoldenSection(ft.negF, lo, hi, 1e-10)
+	ft.xs = nil // do not retain the caller's sample past the call
+	ll, d, ok := ft.profileLogLik(xs, xmax+math.Exp(tOpt), alphaMin)
 	if !ok || !d.Valid() {
 		return FitResult{}, ErrNoInteriorMax
 	}
