@@ -11,12 +11,21 @@
 // finished jobs come back with their results, interrupted jobs resume
 // from their last checkpoint and converge to bit-identical estimates.
 //
+// With -coordinator the daemon fronts a fleet: submitted jobs are split
+// into fixed-size shards of hyper-samples, fanned out to the listed
+// worker daemons (their /v1/shards API), retried around failed or dead
+// workers, and merged into a result bit-identical to a single-node run
+// with the same shard plan. Every daemon serves /v1/shards, so any
+// instance can be a worker.
+//
 // Usage:
 //
 //	maxpowerd [-addr :8321] [-workers 4] [-queue 64] [-cache 16]
 //	          [-sim-workers 0] [-drain 30s] [-data DIR]
 //	          [-max-job-duration 0] [-retain-jobs 512] [-retain-ttl 1h]
 //	          [-pprof-addr 127.0.0.1:8322]
+//	          [-coordinator http://w1:8321,http://w2:8321]
+//	          [-shard-size 8] [-shard-timeout 0]
 //
 // -pprof-addr starts a SECOND listener serving net/http/pprof (CPU and
 // heap profiles, goroutine dumps). It is off by default and never shares
@@ -33,6 +42,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,8 +62,23 @@ func main() {
 		retainJobs = flag.Int("retain-jobs", 0, "max finished jobs kept in the table (0 = default 512, -1 = unlimited)")
 		retainTTL  = flag.Duration("retain-ttl", 0, "finished-job retention TTL (0 = default 1h, -1ns or any negative = no TTL)")
 		pprofAddr  = flag.String("pprof-addr", "", "listen address for the net/http/pprof profiling listener (empty = disabled)")
+		coord      = flag.String("coordinator", "", "comma-separated worker base URLs; when set, jobs are sharded across this fleet instead of running locally")
+		shardSize  = flag.Int("shard-size", 0, "hyper-samples per fleet shard in coordinator mode (0 = default 8)")
+		shardTO    = flag.Duration("shard-timeout", 0, "per-attempt wall-time cap for a dispatched shard; exceeded shards retry on another worker (0 = unlimited)")
 	)
 	flag.Parse()
+
+	var fleetWorkers []string
+	if *coord != "" {
+		for _, w := range strings.Split(*coord, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				fleetWorkers = append(fleetWorkers, w)
+			}
+		}
+		if len(fleetWorkers) == 0 {
+			log.Fatalf("-coordinator: no worker URLs in %q", *coord)
+		}
+	}
 
 	mgr, err := service.NewManager(service.ManagerConfig{
 		Workers:        *workers,
@@ -64,6 +89,9 @@ func main() {
 		MaxJobDuration: *maxJobDur,
 		RetainJobs:     *retainJobs,
 		RetainFor:      *retainTTL,
+		FleetWorkers:   fleetWorkers,
+		ShardSize:      *shardSize,
+		ShardTimeout:   *shardTO,
 	})
 	if err != nil {
 		log.Fatalf("manager: %v", err)
@@ -117,6 +145,9 @@ func main() {
 	}
 	if *dataDir != "" {
 		log.Printf("journaling to %s", *dataDir)
+	}
+	if len(fleetWorkers) > 0 {
+		log.Printf("coordinating a fleet of %d workers: %s", len(fleetWorkers), strings.Join(fleetWorkers, ", "))
 	}
 
 	select {

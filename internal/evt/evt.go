@@ -556,11 +556,86 @@ func (e *Estimator) RunContext(ctx context.Context, rng *stats.RNG) Result {
 	return res
 }
 
-// updateInterval folds the current estimate list into res: the running
+// HyperRecord is the transportable outcome of one hyper-sample: exactly
+// the per-iteration state the sequential procedure folds into its
+// running Result. A shard executed on a remote worker returns its
+// hyper-samples as HyperRecords; FoldRecords replays the stopping rule
+// over them with the same arithmetic as RunContext, which is what makes
+// a sharded (fleet) run bit-identical to a single-node run consuming
+// the same substreams in the same order. All fields are finite after a
+// completed hyper-sample, so the struct JSON-round-trips exactly (Go
+// encodes float64 shortest-form, which decodes to the same bits).
+type HyperRecord struct {
+	// Estimate is the hyper-sample's maximum-power estimate.
+	Estimate float64 `json:"estimate"`
+	// Units is the units drawn for this hyper-sample, retries included.
+	Units int `json:"units"`
+	// ObservedMax is the largest unit power seen while drawing it.
+	ObservedMax float64 `json:"observed_max"`
+}
+
+// Record extracts the transportable part of a hyper-sample result.
+func (h HyperSampleResult) Record() HyperRecord {
+	return HyperRecord{Estimate: h.Estimate, Units: h.Units, ObservedMax: h.ObservedMax}
+}
+
+// FoldRecords replays the sequential stopping rule of Figure 4 over
+// per-hyper-sample records: fold record k, check the Student-t interval
+// at k ≥ 2, stop at the first k that converges. It is the merge half of
+// the distributed determinism contract — for records produced by the
+// same substreams in the same global order, FoldRecords returns a
+// Result whose statistical fields (Estimate, CI, RelErr, HyperSamples,
+// Units, Converged, SigmaSq*, ObservedMax) are bit-identical to
+// RunContext's, because both run the identical foldInterval arithmetic
+// over the identical estimate prefixes. Records beyond the stopping
+// point (shards that ran past fleet-wide convergence) or beyond
+// MaxHyperSamples are ignored, exactly as a sequential run would never
+// have drawn them. Trace and wall-clock timings are not reconstructed.
+func FoldRecords(cfg Config, recs []HyperRecord) Result {
+	cfg = cfg.Defaults()
+	if len(recs) > cfg.MaxHyperSamples {
+		recs = recs[:cfg.MaxHyperSamples]
+	}
+	var res Result
+	res.ObservedMax = math.Inf(-1)
+	estimates := make([]float64, 0, len(recs))
+	for k := 1; k <= len(recs); k++ {
+		rec := recs[k-1]
+		res.Units += rec.Units
+		if rec.ObservedMax > res.ObservedMax {
+			res.ObservedMax = rec.ObservedMax
+		}
+		estimates = append(estimates, rec.Estimate)
+		if k >= 2 {
+			foldInterval(cfg, &res, estimates)
+		}
+		if res.Converged {
+			return res
+		}
+	}
+	if res.HyperSamples == 0 && len(estimates) > 0 {
+		res.Estimate = estimates[0]
+		res.CILow = math.Inf(-1)
+		res.CIHigh = math.Inf(1)
+		res.RelErr = math.Inf(1)
+		res.HyperSamples = len(estimates)
+	}
+	return res
+}
+
+// updateInterval folds the current estimate list into res via the shared
+// foldInterval arithmetic.
+func (e *Estimator) updateInterval(res *Result, estimates []float64) {
+	foldInterval(e.cfg, res, estimates)
+}
+
+// foldInterval folds the current estimate list into res: the running
 // mean, the Student-t interval (Eqn. 3.8), the σ² estimate with its χ²
 // interval, and the stopping decision. Pure arithmetic — no randomness.
-func (e *Estimator) updateInterval(res *Result, estimates []float64) {
-	cfg := e.cfg
+// It is shared verbatim by the sequential loop (RunContext) and the
+// distributed merge (FoldRecords); keeping one implementation is what
+// lets the fleet promise bit-identical merged results.
+func foldInterval(cfg Config, res *Result, estimates []float64) {
 	k := len(estimates)
 	mean, sd := stats.MeanStd(estimates)
 	tq := stats.TwoSidedT(cfg.Confidence, float64(k-1))

@@ -1,0 +1,150 @@
+package evt
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// traceRecords extracts the HyperRecords of a run's trace — the exact
+// per-hyper-sample data a shard would ship back to a coordinator.
+func traceRecords(r Result) []HyperRecord {
+	recs := make([]HyperRecord, 0, len(r.Trace))
+	for _, hs := range r.Trace {
+		recs = append(recs, hs.Record())
+	}
+	return recs
+}
+
+// TestFoldRecordsMatchesRun is the merge half of the distributed
+// determinism contract at its smallest scope: folding the records of a
+// sequential run reproduces that run's statistical fields to the last
+// bit, both for a converged run and for one that exhausts the cap.
+func TestFoldRecordsMatchesRun(t *testing.T) {
+	pop := betaLikePopulation(20000, 31)
+	for _, cfg := range []Config{
+		{Epsilon: 0.01, MaxHyperSamples: 100},
+		{Epsilon: 0.00001, MaxHyperSamples: 8}, // never converges: cap path
+	} {
+		est, err := New(pop, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := est.Run(stats.NewRNG(7))
+		got := FoldRecords(cfg, traceRecords(want))
+		if statFields(got) != statFields(want) {
+			t.Errorf("fold diverged from run (eps=%v):\n got  %+v\n want %+v",
+				cfg.Epsilon, statFields(got), statFields(want))
+		}
+	}
+}
+
+// TestFoldRecordsIgnoresOverrun: records past the stopping point — the
+// shards a fleet computed before the early-stop cancel reached them —
+// must not perturb the merged result.
+func TestFoldRecordsIgnoresOverrun(t *testing.T) {
+	pop := betaLikePopulation(20000, 31)
+	cfg := Config{Epsilon: 0.01, MaxHyperSamples: 100}
+	est, err := New(pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := est.Run(stats.NewRNG(7))
+	if !want.Converged {
+		t.Fatalf("run did not converge; pick a looser epsilon")
+	}
+	recs := traceRecords(want)
+	extra := append(append([]HyperRecord(nil), recs...),
+		HyperRecord{Estimate: 99, Units: 300, ObservedMax: 50},
+		HyperRecord{Estimate: 1, Units: 300, ObservedMax: 0.1})
+	got := FoldRecords(cfg, extra)
+	if statFields(got) != statFields(want) {
+		t.Errorf("overrun records changed the merged result:\n got  %+v\n want %+v",
+			statFields(got), statFields(want))
+	}
+}
+
+// TestFoldRecordsSingleAndEmpty covers the degenerate shapes: one record
+// (no deviation exists — unbounded interval, like MaxHyperSamples = 1)
+// and no records at all (a run cancelled before its first hyper-sample).
+func TestFoldRecordsSingleAndEmpty(t *testing.T) {
+	cfg := Config{}
+	one := FoldRecords(cfg, []HyperRecord{{Estimate: 4.2, Units: 300, ObservedMax: 4.0}})
+	if one.HyperSamples != 1 || one.Estimate != 4.2 || one.Units != 300 ||
+		!math.IsInf(one.CIHigh, 1) || !math.IsInf(one.CILow, -1) || !math.IsInf(one.RelErr, 1) {
+		t.Errorf("single-record fold wrong: %+v", one)
+	}
+	empty := FoldRecords(cfg, nil)
+	if empty.HyperSamples != 0 || empty.Units != 0 || !math.IsInf(empty.ObservedMax, -1) {
+		t.Errorf("empty fold wrong: %+v", empty)
+	}
+}
+
+// TestHyperRecordJSONRoundTrip: the wire form must round-trip float64
+// bits exactly, or a remote shard could silently break the bit-identity
+// guarantee. Go's shortest-form float encoding guarantees this; the test
+// pins it against adversarial (denormal, epsilon-separated) values.
+func TestHyperRecordJSONRoundTrip(t *testing.T) {
+	recs := []HyperRecord{
+		{Estimate: 1.0 / 3.0, Units: 300, ObservedMax: math.Nextafter(2, 3)},
+		{Estimate: 5e-324, Units: 1, ObservedMax: 1.7976931348623157e308},
+		{Estimate: 9.869604401089358, Units: 600, ObservedMax: 0},
+	}
+	b, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []HyperRecord
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if math.Float64bits(back[i].Estimate) != math.Float64bits(recs[i].Estimate) ||
+			math.Float64bits(back[i].ObservedMax) != math.Float64bits(recs[i].ObservedMax) ||
+			back[i].Units != recs[i].Units {
+			t.Errorf("record %d did not round-trip: %+v vs %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+// TestCheckpointValidateEdgeCases pins Validate's rejection surface: the
+// corruptions a journal replay or a shard resume must never accept.
+func TestCheckpointValidateEdgeCases(t *testing.T) {
+	good := Checkpoint{
+		Estimates:   []float64{4.1, 4.3},
+		Units:       600,
+		ObservedMax: 4.0,
+		RNG:         stats.NewRNG(1).State(),
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Checkpoint)
+	}{
+		{"no estimates (hyper-sample 0)", func(cp *Checkpoint) { cp.Estimates = nil }},
+		{"zero RNG state", func(cp *Checkpoint) { cp.RNG = [4]uint64{} }},
+		{"more estimates than units", func(cp *Checkpoint) { cp.Units = 1 }},
+		{"negative units", func(cp *Checkpoint) { cp.Units = -600 }},
+		{"NaN estimate", func(cp *Checkpoint) { cp.Estimates = []float64{4.1, math.NaN()} }},
+		{"Inf estimate", func(cp *Checkpoint) { cp.Estimates = []float64{math.Inf(1)} }},
+		{"NaN observed max", func(cp *Checkpoint) { cp.ObservedMax = math.NaN() }},
+		{"Inf observed max", func(cp *Checkpoint) { cp.ObservedMax = math.Inf(-1) }},
+	}
+	for _, tc := range cases {
+		cp := good
+		cp.Estimates = append([]float64(nil), good.Estimates...)
+		tc.mutate(&cp)
+		if err := cp.Validate(); err == nil {
+			t.Errorf("%s: corrupt checkpoint accepted", tc.name)
+		}
+		// A corrupt checkpoint must also be refused at config validation,
+		// the gate the service resume path goes through.
+		if err := (Config{Resume: &cp}).Validate(); err == nil {
+			t.Errorf("%s: corrupt resume accepted by Config.Validate", tc.name)
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/evt"
+	"repro/internal/faultpoint"
+)
+
+// Coordinator fans one job's shards out to worker daemons and merges
+// their records into the job Result. It is stateless across jobs (safe
+// for concurrent Run calls) and deliberately trusts nothing about
+// worker scheduling: any worker may run any shard, in any order, and
+// crashed or unreachable workers just cost a retry — the merged result
+// is a pure function of the plan.
+type Coordinator struct {
+	// Workers are the base URLs of registered worker daemons
+	// (e.g. "http://10.0.0.7:8321"). Shard i is first offered to worker
+	// i mod len(Workers); retries rotate from there.
+	Workers []string
+	// Client is the HTTP client for worker calls (nil = a default with
+	// a 30 s per-call timeout).
+	Client *http.Client
+	// PollInterval is the per-shard status polling period (0 = 25 ms).
+	PollInterval time.Duration
+	// MaxAttempts caps how many workers a shard is tried on before the
+	// job fails (0 = 2·len(Workers), at least 4).
+	MaxAttempts int
+	// ShardTimeout bounds one dispatch attempt's wall time; a shard
+	// that exceeds it is cancelled on that worker and retried on the
+	// next (0 = no per-attempt cap).
+	ShardTimeout time.Duration
+
+	dispatched     atomic.Int64
+	retried        atomic.Int64
+	earlyCancelled atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the coordinator's counters.
+type Stats struct {
+	// ShardsDispatched counts shard submit attempts (retries included).
+	ShardsDispatched int64
+	// ShardsRetried counts re-dispatches after a failed, unreachable,
+	// or timed-out attempt.
+	ShardsRetried int64
+	// ShardsCancelled counts outstanding shards cancelled by
+	// convergence-driven early stop.
+	ShardsCancelled int64
+}
+
+// Stats returns the coordinator's cumulative counters.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		ShardsDispatched: c.dispatched.Load(),
+		ShardsRetried:    c.retried.Load(),
+		ShardsCancelled:  c.earlyCancelled.Load(),
+	}
+}
+
+func (c *Coordinator) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Coordinator) pollInterval() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 25 * time.Millisecond
+}
+
+func (c *Coordinator) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	n := 2 * len(c.Workers)
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// shardID names a shard globally: <jobID>-s<index>. The same job
+// re-sharded by a retrying coordinator derives the same IDs, so workers
+// can deduplicate double dispatch.
+func shardID(jobID string, index int) string {
+	return fmt.Sprintf("%s-s%d", jobID, index)
+}
+
+// Run shards the job per plan, executes the shards across the fleet,
+// and returns the merged Result. job is the original job request
+// payload, forwarded verbatim to workers; cfg must carry the same
+// estimation parameters the job payload does (the coordinator folds
+// with it, the workers fit with theirs). onProgress, when non-nil,
+// receives a snapshot after every newly completed prefix shard.
+//
+// Convergence-driven early stop: as soon as the folded prefix
+// converges, the remaining shards are cancelled fleet-wide and the
+// merged Result is returned — bit-identical to the single-node
+// reference, which would never have drawn those hyper-samples either.
+// When ctx is cancelled mid-run the completed prefix is folded into a
+// partial Result (err stays nil), mirroring single-node cancellation.
+func (c *Coordinator) Run(ctx context.Context, jobID string, job json.RawMessage, cfg evt.Config, plan Plan, onProgress func(evt.Progress)) (evt.Result, error) {
+	if len(c.Workers) == 0 {
+		return evt.Result{}, errors.New("fleet: coordinator has no workers")
+	}
+	shards, err := plan.Shards()
+	if err != nil {
+		return evt.Result{}, err
+	}
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	type outcome struct {
+		idx  int
+		recs []evt.HyperRecord
+		err  error
+	}
+	// Buffered to the shard count: late finishers never block after the
+	// coordinator has already returned.
+	ch := make(chan outcome, len(shards))
+	for _, sh := range shards {
+		go func(sh Shard) {
+			recs, err := c.runShard(runCtx, jobID, job, sh)
+			ch <- outcome{idx: sh.Index, recs: recs, err: err}
+		}(sh)
+	}
+
+	results := make([][]evt.HyperRecord, len(shards))
+	prefix := 0 // shards [0, prefix) are complete
+	for completed := 0; completed < len(shards); completed++ {
+		oc := <-ch
+		if ctx.Err() != nil {
+			// Job-level cancel or deadline: stop the fleet and keep the
+			// contiguous completed prefix as the partial estimate, exactly
+			// as a cancelled single-node run keeps its completed
+			// hyper-samples.
+			c.cancelOutstanding(jobID, shards, results)
+			return evt.FoldRecords(cfg, flattenPrefix(results, prefix)), nil
+		}
+		if oc.err != nil {
+			cancelRun()
+			c.cancelOutstanding(jobID, shards, results)
+			return evt.Result{}, fmt.Errorf("fleet: shard %d: %w", oc.idx, oc.err)
+		}
+		results[oc.idx] = oc.recs
+		advanced := false
+		for prefix < len(shards) && results[prefix] != nil {
+			prefix++
+			advanced = true
+		}
+		if !advanced {
+			continue
+		}
+		res := evt.FoldRecords(cfg, flattenPrefix(results, prefix))
+		if onProgress != nil {
+			onProgress(progressOf(res))
+		}
+		if res.Converged {
+			cancelRun()
+			c.cancelOutstanding(jobID, shards, results)
+			return res, nil
+		}
+	}
+	return evt.FoldRecords(cfg, flattenPrefix(results, len(shards))), nil
+}
+
+func flattenPrefix(results [][]evt.HyperRecord, prefix int) []evt.HyperRecord {
+	var recs []evt.HyperRecord
+	for _, s := range results[:prefix] {
+		recs = append(recs, s...)
+	}
+	return recs
+}
+
+func progressOf(res evt.Result) evt.Progress {
+	return evt.Progress{
+		HyperSamples: res.HyperSamples,
+		Estimate:     res.Estimate,
+		CILow:        res.CILow,
+		CIHigh:       res.CIHigh,
+		RelErr:       res.RelErr,
+		Units:        res.Units,
+		Converged:    res.Converged,
+	}
+}
+
+// runShard drives one shard to completion: dispatch to a worker, poll,
+// and on any failure — dispatch error, worker unreachable while
+// polling, shard reported failed, attempt timeout — rotate to the next
+// worker and try again, up to MaxAttempts. Safe because shards are
+// idempotent: the records are a pure function of the plan, and workers
+// deduplicate by shard ID.
+func (c *Coordinator) runShard(ctx context.Context, jobID string, job json.RawMessage, sh Shard) ([]evt.HyperRecord, error) {
+	req := ShardRequest{ID: shardID(jobID, sh.Index), Job: job, Shard: sh}
+	attempts := c.maxAttempts()
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if a > 0 {
+			c.retried.Add(1)
+			// Brief backoff so a queue-full worker gets room to drain.
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(time.Duration(a) * 25 * time.Millisecond):
+			}
+		}
+		worker := c.Workers[(sh.Index+a)%len(c.Workers)]
+		recs, err := c.runShardOn(ctx, worker, req, sh)
+		if err == nil {
+			return recs, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("fleet: gave up after %d attempts: %w", attempts, lastErr)
+}
+
+// runShardOn is one dispatch attempt against one worker: submit, poll
+// until terminal, validate the records. The "fleet/shard-dispatch"
+// fault point simulates dispatch-path failures (network partition,
+// worker death between submit and poll) for chaos tests.
+func (c *Coordinator) runShardOn(ctx context.Context, worker string, req ShardRequest, sh Shard) ([]evt.HyperRecord, error) {
+	if err := faultpoint.Hit("fleet/shard-dispatch"); err != nil {
+		return nil, err
+	}
+	c.dispatched.Add(1)
+	st, err := c.submitShard(ctx, worker, req)
+	if err != nil {
+		return nil, err
+	}
+	var deadline <-chan time.Time
+	if c.ShardTimeout > 0 {
+		t := time.NewTimer(c.ShardTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	consecutiveErrs := 0
+	for !st.State.Terminal() {
+		select {
+		case <-ctx.Done():
+			c.cancelShardOn(worker, req.ID)
+			return nil, ctx.Err()
+		case <-deadline:
+			c.cancelShardOn(worker, req.ID)
+			return nil, fmt.Errorf("fleet: shard %s timed out on %s after %s", req.ID, worker, c.ShardTimeout)
+		case <-time.After(c.pollInterval()):
+		}
+		next, err := c.getShard(ctx, worker, req.ID)
+		if err != nil {
+			// A dead worker fails every poll; tolerate a couple of
+			// transient errors before reassigning.
+			if consecutiveErrs++; consecutiveErrs >= 3 {
+				return nil, fmt.Errorf("fleet: lost worker %s: %w", worker, err)
+			}
+			continue
+		}
+		consecutiveErrs = 0
+		st = next
+	}
+	if err := st.validateDone(sh); err != nil {
+		return nil, err
+	}
+	return st.Records, nil
+}
+
+// cancelOutstanding best-effort-cancels every not-yet-merged shard on
+// every worker (the coordinator does not track which worker currently
+// holds a shard across retries, and DELETE of an unknown shard is a
+// cheap 404).
+func (c *Coordinator) cancelOutstanding(jobID string, shards []Shard, results [][]evt.HyperRecord) {
+	for _, sh := range shards {
+		if results[sh.Index] != nil {
+			continue
+		}
+		c.earlyCancelled.Add(1)
+		for _, worker := range c.Workers {
+			c.cancelShardOn(worker, shardID(jobID, sh.Index))
+		}
+	}
+}
+
+// submitShard POSTs the shard to a worker and returns its status.
+func (c *Coordinator) submitShard(ctx context.Context, worker string, req ShardRequest) (ShardStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return ShardStatus{}, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return ShardStatus{}, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	return c.doShard(httpReq)
+}
+
+// getShard polls a shard's status.
+func (c *Coordinator) getShard(ctx context.Context, worker, id string) (ShardStatus, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/v1/shards/"+id, nil)
+	if err != nil {
+		return ShardStatus{}, err
+	}
+	return c.doShard(httpReq)
+}
+
+// cancelShardOn best-effort-cancels a shard on one worker. It uses a
+// short background context: cancellation must still go out when the
+// caller's context is already done (early stop, job cancel).
+func (c *Coordinator) cancelShardOn(worker, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodDelete, worker+"/v1/shards/"+id, nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client().Do(httpReq)
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// doShard executes a shard API call and decodes the ShardStatus reply.
+func (c *Coordinator) doShard(req *http.Request) (ShardStatus, error) {
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return ShardStatus{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return ShardStatus{}, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return ShardStatus{}, fmt.Errorf("fleet: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, truncate(body, 200))
+	}
+	var st ShardStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return ShardStatus{}, fmt.Errorf("fleet: bad shard status from %s: %w", req.URL.Host, err)
+	}
+	return st, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}

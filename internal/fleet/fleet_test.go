@@ -1,0 +1,324 @@
+package fleet_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/evt"
+	"repro/internal/fleet"
+	"repro/internal/stats"
+	"repro/internal/vectorgen"
+)
+
+// testPopulation builds a finite population with a thin upper tail, the
+// shape the reverse-Weibull fit expects (same construction as the evt
+// package tests).
+func testPopulation(size int, seed uint64) *vectorgen.Population {
+	rng := stats.NewRNG(seed)
+	powers := make([]float64, size)
+	for i := range powers {
+		u := rng.Float64()
+		v := rng.Float64()
+		powers[i] = 10 - 4*math.Pow(u, 0.4)*(1+0.2*v)
+	}
+	return vectorgen.FromPowers("beta-like", powers)
+}
+
+// statisticalFields is the bit-identity comparison surface: everything
+// in a Result except Trace and wall-clock timings.
+type statisticalFields struct {
+	Estimate, CILow, CIHigh, RelErr float64
+	SigmaSq, SigmaSqLow, SigmaSqHi  float64
+	ObservedMax                     float64
+	HyperSamples, Units             int
+	Converged                       bool
+}
+
+func statFields(r evt.Result) statisticalFields {
+	return statisticalFields{
+		Estimate: r.Estimate, CILow: r.CILow, CIHigh: r.CIHigh, RelErr: r.RelErr,
+		SigmaSq: r.SigmaSq, SigmaSqLow: r.SigmaSqLow, SigmaSqHi: r.SigmaSqHi,
+		ObservedMax: r.ObservedMax, HyperSamples: r.HyperSamples, Units: r.Units,
+		Converged: r.Converged,
+	}
+}
+
+// referenceRun is the single-node sharded reference: shards executed
+// sequentially in plan order, folding after every hyper-sample and
+// stopping at convergence — the run every fleet execution must
+// bit-match (maxpower.EstimateDistributed wraps the same loop).
+func referenceRun(t *testing.T, pop *vectorgen.Population, cfg evt.Config, plan fleet.Plan) evt.Result {
+	t.Helper()
+	shards, err := plan.Shards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []evt.HyperRecord
+	converged := false
+	for _, sh := range shards {
+		est, err := evt.New(pop, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = fleet.RunShard(context.Background(), est, sh, nil, func(_ int, rec evt.HyperRecord) bool {
+			all = append(all, rec)
+			converged = evt.FoldRecords(cfg, all).Converged
+			return !converged
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if converged {
+			break
+		}
+	}
+	return evt.FoldRecords(cfg, all)
+}
+
+func TestPlanShards(t *testing.T) {
+	plan := fleet.Plan{Seed: 11, ShardSize: 8, MaxHyperSamples: 20}
+	shards, err := plan.Shards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	wantCounts := []int{8, 8, 4}
+	r := stats.NewRNG(11)
+	for i, sh := range shards {
+		if sh.Index != i || sh.Start != i*8 || sh.Count != wantCounts[i] {
+			t.Errorf("shard %d = %+v, want start %d count %d", i, sh, i*8, wantCounts[i])
+		}
+		if sh.RNG != r.State() {
+			t.Errorf("shard %d RNG state is not the seed origin jumped %d times", i, i)
+		}
+		if err := sh.Validate(); err != nil {
+			t.Errorf("shard %d invalid: %v", i, err)
+		}
+		r.Jump()
+	}
+	// Shard 0 starts exactly at the plain single-stream origin: a
+	// one-shard plan degenerates to the classic run.
+	if shards[0].RNG != stats.NewRNG(11).State() {
+		t.Error("shard 0 does not start at NewRNG(seed)")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if _, err := (fleet.Plan{Seed: 1, ShardSize: -1, MaxHyperSamples: 10}).Shards(); err == nil {
+		t.Error("negative shard size accepted")
+	}
+	if _, err := (fleet.Plan{Seed: 1, ShardSize: 4}).Shards(); err == nil {
+		t.Error("zero hyper-sample budget accepted")
+	}
+	if err := (fleet.Shard{Index: 0, Start: 0, Count: 4}).Validate(); err == nil {
+		t.Error("zero RNG state accepted")
+	}
+	if err := (fleet.Shard{Index: 0, Start: 0, Count: 0, RNG: [4]uint64{1}}).Validate(); err == nil {
+		t.Error("zero-count shard accepted")
+	}
+}
+
+// TestSingleShardPlanMatchesPlainRun: a plan with one shard covering
+// the whole budget is the classic sequential run, bit for bit.
+func TestSingleShardPlanMatchesPlainRun(t *testing.T) {
+	pop := testPopulation(20000, 31)
+	cfg := evt.Config{Epsilon: 0.004, MaxHyperSamples: 24}
+	est, err := evt.New(pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := est.Run(stats.NewRNG(7))
+
+	plan := fleet.Plan{Seed: 7, ShardSize: 24, MaxHyperSamples: 24}
+	got := referenceRun(t, pop, cfg, plan)
+	if statFields(got) != statFields(want) {
+		t.Errorf("one-shard plan diverged from plain run:\n got  %+v\n want %+v",
+			statFields(got), statFields(want))
+	}
+}
+
+// TestRunShardDeterministicAcrossReruns: re-running a shard (the retry
+// path after a worker death) reproduces identical records.
+func TestRunShardDeterministicAcrossReruns(t *testing.T) {
+	pop := testPopulation(20000, 31)
+	cfg := evt.Config{}
+	plan := fleet.Plan{Seed: 9, ShardSize: 6, MaxHyperSamples: 18}
+	shards, err := plan.Shards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range shards {
+		var runs [2][]evt.HyperRecord
+		for i := range runs {
+			est, err := evt.New(pop, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs[i], err = fleet.RunShard(context.Background(), est, sh, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(runs[0]) != sh.Count {
+			t.Fatalf("shard %d returned %d records, want %d", sh.Index, len(runs[0]), sh.Count)
+		}
+		for i := range runs[0] {
+			if runs[0][i] != runs[1][i] {
+				t.Fatalf("shard %d record %d differs across reruns: %+v vs %+v",
+					sh.Index, i, runs[0][i], runs[1][i])
+			}
+		}
+	}
+}
+
+// TestRunShardResume: a shard resumed from a checkpoint taken after any
+// prefix — including hyper-sample 0, where no work has happened yet —
+// completes with records identical to the uninterrupted shard.
+func TestRunShardResume(t *testing.T) {
+	pop := testPopulation(20000, 31)
+	cfg := evt.Config{}
+	plan := fleet.Plan{Seed: 3, ShardSize: 6, MaxHyperSamples: 6}
+	shards, err := plan.Shards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := shards[0]
+
+	// The uninterrupted shard, capturing the RNG state at every
+	// hyper-sample boundary (the state a worker checkpoint would hold).
+	est, err := evt.New(pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(0)
+	rng.SetState(sh.RNG)
+	states := [][4]uint64{rng.State()} // states[d] = state after d hyper-samples
+	var want []evt.HyperRecord
+	for i := 0; i < sh.Count; i++ {
+		want = append(want, est.HyperSample(rng).Record())
+		states = append(states, rng.State())
+	}
+
+	for done := 0; done < sh.Count; done++ {
+		cp := &fleet.ShardCheckpoint{
+			Done:    done,
+			RNG:     states[done],
+			Records: append([]evt.HyperRecord(nil), want[:done]...),
+		}
+		if done == 0 {
+			// A checkpoint at hyper-sample 0 carries no state at all; the
+			// runner must fall back to the shard's planned substream.
+			cp.RNG = [4]uint64{}
+			cp.Records = nil
+		}
+		if err := cp.Validate(sh); err != nil {
+			t.Fatalf("checkpoint at %d invalid: %v", done, err)
+		}
+		rest, err := evt.New(pop, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fleet.RunShard(context.Background(), rest, sh, cp, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("resume at %d: %d records, want %d", done, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("resume at %d: record %d = %+v, want %+v", done, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestShardCheckpointValidate(t *testing.T) {
+	sh := fleet.Shard{Index: 1, Start: 6, Count: 6, RNG: [4]uint64{1, 2, 3, 4}}
+	rec := evt.HyperRecord{Estimate: 4, Units: 300, ObservedMax: 3.9}
+	cases := []struct {
+		name string
+		cp   fleet.ShardCheckpoint
+		ok   bool
+	}{
+		{"at zero", fleet.ShardCheckpoint{}, true},
+		{"mid", fleet.ShardCheckpoint{Done: 1, RNG: [4]uint64{9}, Records: []evt.HyperRecord{rec}}, true},
+		{"negative done", fleet.ShardCheckpoint{Done: -1}, false},
+		{"past the shard", fleet.ShardCheckpoint{Done: 7, RNG: [4]uint64{9}}, false},
+		{"record count mismatch", fleet.ShardCheckpoint{Done: 2, RNG: [4]uint64{9}, Records: []evt.HyperRecord{rec}}, false},
+		{"zero rng mid-shard", fleet.ShardCheckpoint{Done: 1, Records: []evt.HyperRecord{rec}}, false},
+		{"NaN estimate", fleet.ShardCheckpoint{Done: 1, RNG: [4]uint64{9}, Records: []evt.HyperRecord{{Estimate: math.NaN(), Units: 300}}}, false},
+		{"non-positive units", fleet.ShardCheckpoint{Done: 1, RNG: [4]uint64{9}, Records: []evt.HyperRecord{{Estimate: 4, Units: 0}}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.cp.Validate(sh); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestMergeShards: shard-ordered merge equals the flat fold; gaps
+// before the stopping point are rejected; gaps past a converged prefix
+// are fine (those are the shards early stop cancelled).
+func TestMergeShards(t *testing.T) {
+	pop := testPopulation(20000, 31)
+	cfg := evt.Config{Epsilon: 0.01, MaxHyperSamples: 40}
+	plan := fleet.Plan{Seed: 5, ShardSize: 4, MaxHyperSamples: 40}
+	shards, err := plan.Shards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShard := make([][]evt.HyperRecord, len(shards))
+	var flat []evt.HyperRecord
+	for i, sh := range shards {
+		est, err := evt.New(pop, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perShard[i], err = fleet.RunShard(context.Background(), est, sh, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat = append(flat, perShard[i]...)
+	}
+	want := evt.FoldRecords(cfg, flat)
+	got, err := fleet.MergeShards(cfg, perShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statFields(got) != statFields(want) {
+		t.Errorf("merge diverged from flat fold:\n got  %+v\n want %+v", statFields(got), statFields(want))
+	}
+	if !want.Converged {
+		t.Fatal("run did not converge; the gap cases below need a converged prefix")
+	}
+
+	// Convergence happened somewhere; shards past it may be missing.
+	lastNeeded := (want.HyperSamples - 1) / 4 // shard index containing the stopping hyper-sample
+	withTail := make([][]evt.HyperRecord, len(shards))
+	copy(withTail, perShard)
+	for i := lastNeeded + 1; i < len(withTail); i++ {
+		withTail[i] = nil
+	}
+	got2, err := fleet.MergeShards(cfg, withTail)
+	if err != nil {
+		t.Fatalf("merge with cancelled tail failed: %v", err)
+	}
+	if statFields(got2) != statFields(want) {
+		t.Errorf("merge with cancelled tail diverged")
+	}
+
+	// A gap before the stopping point is a hard error.
+	gappy := make([][]evt.HyperRecord, len(shards))
+	copy(gappy, perShard)
+	if lastNeeded == 0 {
+		t.Fatalf("convergence inside shard 0; tighten epsilon so the gap case is meaningful")
+	}
+	gappy[0] = nil
+	if _, err := fleet.MergeShards(cfg, gappy); err == nil {
+		t.Error("merge accepted a gap before the stopping point")
+	}
+}

@@ -228,6 +228,19 @@ type Stats struct {
 	RejectedShutdown int64 `json:"rejected_shutting_down"`
 	RejectedInvalid  int64 `json:"rejected_invalid"`
 	JournalErrors    int64 `json:"journal_errors"`
+	// Fleet counters (PR 6). The Shards* trio counts this instance's
+	// worker-side shard executions; the FleetShards* trio counts
+	// coordinator-side dispatch activity (zero on pure workers).
+	// BatchFallbacks counts streaming batches that silently recovered on
+	// the scalar oracle after a batch-engine error — results unaffected,
+	// degradation visible.
+	ShardsExecuted        int64 `json:"shards_executed"`
+	ShardsFailed          int64 `json:"shards_failed"`
+	ShardsCancelled       int64 `json:"shards_cancelled"`
+	BatchFallbacks        int64 `json:"batch_fallbacks"`
+	FleetShardsDispatched int64 `json:"fleet_shards_dispatched"`
+	FleetShardsRetried    int64 `json:"fleet_shards_retried"`
+	FleetShardsCancelled  int64 `json:"fleet_shards_cancelled"`
 }
 
 // apiError is the structured error body: {"error":{"code":..,"message":..}}.

@@ -1,0 +1,342 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/faultpoint"
+	"repro/maxpower"
+)
+
+// fleetJobRequest is the shared scenario: a C432 population job whose
+// options give a plan of several shards with convergence mid-plan.
+func fleetJobRequest() JobRequest {
+	return JobRequest{
+		Circuit:    "C432",
+		Population: PopulationSpec{Size: 2000, Seed: 5},
+		Options:    EstimateOptions{Seed: 13, Epsilon: 0.03, MaxHyperSamples: 24},
+	}
+}
+
+// fleetReference computes the single-node sharded reference the fleet
+// must bit-match: maxpower.EstimateDistributed over the same population,
+// options, and shard plan.
+func fleetReference(t *testing.T, req JobRequest, shardSize int) maxpower.Result {
+	t.Helper()
+	c, err := maxpower.Circuit(req.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := maxpower.BuildPopulation(c, req.Population.toLib(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := maxpower.EstimateDistributed(pop, req.Options.toLib(), maxpower.DistributedOptions{ShardSize: shardSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// assertResultMatches compares a wire JobResult against a library Result
+// bit for bit (through the same finite() mapping the wire applies).
+func assertResultMatches(t *testing.T, label string, got JobResult, want maxpower.Result) {
+	t.Helper()
+	if got.Estimate != finite(want.Estimate) || got.CILow != finite(want.CILow) ||
+		got.CIHigh != finite(want.CIHigh) || got.RelErr != finite(want.RelErr) ||
+		got.ObservedMax != finite(want.ObservedMax) || got.SigmaSq != finite(want.SigmaSq) ||
+		got.HyperSamples != want.HyperSamples || got.Units != want.Units ||
+		got.Converged != want.Converged {
+		t.Errorf("%s: fleet result diverged from single-node reference:\n got  %+v\n want %+v", label, got, want)
+	}
+}
+
+// newFleet spins up n worker servers plus a coordinator wired to them,
+// all in-process.
+func newFleet(t *testing.T, n, shardSize int) (*httptest.Server, *Manager, []*Manager, []*httptest.Server) {
+	t.Helper()
+	urls := make([]string, n)
+	mgrs := make([]*Manager, n)
+	srvs := make([]*httptest.Server, n)
+	for i := range urls {
+		srv, mgr := newTestServer(t, ManagerConfig{Workers: 2, CacheSize: 4})
+		urls[i], mgrs[i], srvs[i] = srv.URL, mgr, srv
+	}
+	coord, coordMgr := newTestServer(t, ManagerConfig{
+		Workers:      2,
+		FleetWorkers: urls,
+		ShardSize:    shardSize,
+	})
+	return coord, coordMgr, mgrs, srvs
+}
+
+// TestFleetBitIdenticalAcrossWorkerCounts is the acceptance test: a job
+// sharded across 1, 2, and 4 workers merges to the exact bits of a
+// direct single-node maxpower.EstimateDistributed with the same plan.
+func TestFleetBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	req := fleetJobRequest()
+	const shardSize = 3
+	want := fleetReference(t, req, shardSize)
+	if !want.Converged {
+		t.Fatal("fixture must converge mid-plan for the scenario to be meaningful")
+	}
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			coord, _, workerMgrs, _ := newFleet(t, n, shardSize)
+			id := submitJob(t, coord, req)
+			st := waitTerminal(t, coord, id)
+			if st.State != StateDone {
+				t.Fatalf("fleet job finished %s: %s", st.State, st.Error)
+			}
+			assertResultMatches(t, fmt.Sprintf("%d workers", n), fetchResult(t, coord, id), want)
+			executed := int64(0)
+			for _, m := range workerMgrs {
+				executed += m.Stats().ShardsExecuted
+			}
+			if executed == 0 {
+				t.Error("no worker executed any shard")
+			}
+			if st.Progress == nil || !st.Progress.Converged {
+				t.Error("coordinator job progress never reflected convergence")
+			}
+		})
+	}
+}
+
+// TestFleetEarlyStop: the coordinator stops the plan at convergence —
+// the merged run uses fewer hyper-samples than the plan's budget, and
+// the result still bit-matches the reference (which stops at the same
+// point by construction).
+func TestFleetEarlyStop(t *testing.T) {
+	req := fleetJobRequest()
+	want := fleetReference(t, req, 3)
+	if !want.Converged || want.HyperSamples >= 24 {
+		t.Fatalf("fixture must converge before the budget (got k=%d)", want.HyperSamples)
+	}
+	coord, coordMgr, _, _ := newFleet(t, 2, 3)
+	id := submitJob(t, coord, req)
+	st := waitTerminal(t, coord, id)
+	if st.State != StateDone {
+		t.Fatalf("fleet job finished %s: %s", st.State, st.Error)
+	}
+	res := fetchResult(t, coord, id)
+	assertResultMatches(t, "early stop", res, want)
+	if res.HyperSamples >= 24 {
+		t.Errorf("early stop had no effect: merged run used all %d hyper-samples", res.HyperSamples)
+	}
+	if d := coordMgr.Stats().FleetShardsDispatched; d == 0 {
+		t.Error("coordinator dispatched no shards")
+	}
+}
+
+// TestFleetShardRunFaultRetries: the "service/shard-run" fault point
+// fails the first shard executions on the workers; the coordinator
+// retries them (idempotently, by shard ID) and the merged result is
+// unchanged.
+func TestFleetShardRunFaultRetries(t *testing.T) {
+	req := fleetJobRequest()
+	want := fleetReference(t, req, 3)
+
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Arm("service/shard-run", 2, func() error {
+		return errors.New("injected shard execution failure")
+	})
+
+	coord, coordMgr, workerMgrs, _ := newFleet(t, 2, 3)
+	id := submitJob(t, coord, req)
+	st := waitTerminal(t, coord, id)
+	if st.State != StateDone {
+		t.Fatalf("fleet job finished %s: %s", st.State, st.Error)
+	}
+	assertResultMatches(t, "shard-run fault", fetchResult(t, coord, id), want)
+	if coordMgr.Stats().FleetShardsRetried == 0 {
+		t.Error("expected the coordinator to retry the failed shards")
+	}
+	failed := int64(0)
+	for _, m := range workerMgrs {
+		failed += m.Stats().ShardsFailed
+	}
+	if failed == 0 {
+		t.Error("expected worker-side shard failures to be counted")
+	}
+}
+
+// TestFleetDispatchFaultpoint: the coordinator-side chaos seam — the
+// "fleet/shard-dispatch" fault kills dispatch attempts before they
+// reach a worker; retries rotate and the result is unchanged.
+func TestFleetDispatchFaultpoint(t *testing.T) {
+	req := fleetJobRequest()
+	want := fleetReference(t, req, 3)
+
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Arm("fleet/shard-dispatch", 3, func() error {
+		return errors.New("injected dispatch failure")
+	})
+
+	coord, coordMgr, _, _ := newFleet(t, 2, 3)
+	id := submitJob(t, coord, req)
+	st := waitTerminal(t, coord, id)
+	if st.State != StateDone {
+		t.Fatalf("fleet job finished %s: %s", st.State, st.Error)
+	}
+	assertResultMatches(t, "dispatch fault", fetchResult(t, coord, id), want)
+	if r := coordMgr.Stats().FleetShardsRetried; r < 3 {
+		t.Errorf("FleetShardsRetried = %d, want >= 3", r)
+	}
+}
+
+// TestFleetWorkerDeathReassigns is the kill-mid-shard chaos case: one
+// worker dies (process crash semantics: in-flight shards vanish, every
+// subsequent request fails) while the job runs; the coordinator
+// reassigns its shards to the survivor and the merged result still
+// bit-matches the reference.
+func TestFleetWorkerDeathReassigns(t *testing.T) {
+	req := fleetJobRequest()
+	want := fleetReference(t, req, 3)
+
+	coord, coordMgr, workerMgrs, workerSrvs := newFleet(t, 2, 3)
+	id := submitJob(t, coord, req)
+
+	// Wait until the doomed worker has accepted at least one shard, then
+	// kill it mid-flight.
+	victim, victimSrv := workerMgrs[0], workerSrvs[0]
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		victim.mu.Lock()
+		accepted := len(victim.shards)
+		victim.mu.Unlock()
+		if accepted > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim worker never received a shard")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	victim.killForTest()
+	victimSrv.Close()
+
+	st := waitTerminal(t, coord, id)
+	if st.State != StateDone {
+		t.Fatalf("fleet job finished %s: %s", st.State, st.Error)
+	}
+	assertResultMatches(t, "worker death", fetchResult(t, coord, id), want)
+	if coordMgr.Stats().FleetShardsRetried == 0 {
+		t.Error("expected the dead worker's shards to be reassigned")
+	}
+}
+
+// TestFleetStreamingJob: sharded streaming estimation (no precomputed
+// population) merges to the same bits as the local shard-by-shard
+// streaming reference.
+func TestFleetStreamingJob(t *testing.T) {
+	req := JobRequest{
+		Circuit:    "C432",
+		Population: PopulationSpec{Size: 2000, Seed: 5},
+		Options:    EstimateOptions{Seed: 13, Epsilon: 0.0001, MaxHyperSamples: 6, Workers: 1},
+		Streaming:  true,
+	}
+	c, err := maxpower.Circuit(req.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := req.Options.toLib()
+	shards, err := maxpower.PlanShards(opt, maxpower.DistributedOptions{ShardSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perShard [][]maxpower.HyperRecord
+	for _, sh := range shards {
+		recs, err := maxpower.RunShardStreaming(context.Background(), c, req.Population.toLib(0), opt, sh, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perShard = append(perShard, recs)
+	}
+	want, err := maxpower.MergeShardRecords(opt, perShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, _, _, _ := newFleet(t, 2, 2)
+	id := submitJob(t, coord, req)
+	st := waitTerminal(t, coord, id)
+	if st.State != StateDone {
+		t.Fatalf("fleet streaming job finished %s: %s", st.State, st.Error)
+	}
+	assertResultMatches(t, "streaming", fetchResult(t, coord, id), want)
+}
+
+// TestShardAPIValidation: the worker edge rejects malformed shard
+// submissions and unknown shard IDs.
+func TestShardAPIValidation(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{Workers: 1})
+	code, _ := doJSON(t, http.MethodPost, srv.URL+"/v1/shards", map[string]any{"id": ""}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("empty shard request: status %d, want 400", code)
+	}
+	code, _ = doJSON(t, http.MethodPost, srv.URL+"/v1/shards", map[string]any{
+		"id":    "j-s0",
+		"job":   map[string]any{"circuit": "NO-SUCH"},
+		"shard": map[string]any{"index": 0, "start": 0, "count": 2, "rng": []uint64{1, 2, 3, 4}},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("bad embedded job: status %d, want 400", code)
+	}
+	code, _ = doJSON(t, http.MethodGet, srv.URL+"/v1/shards/nope", nil, nil)
+	if code != http.StatusNotFound {
+		t.Errorf("unknown shard status: %d, want 404", code)
+	}
+	code, _ = doJSON(t, http.MethodDelete, srv.URL+"/v1/shards/nope", nil, nil)
+	if code != http.StatusNotFound {
+		t.Errorf("unknown shard cancel: %d, want 404", code)
+	}
+}
+
+// TestBatchFallbackCounter: satellite check — when the streaming batch
+// engine fails and the scalar oracle recovers, the degradation is
+// visible as batch_fallbacks in /v1/stats while the job still succeeds
+// with the same bits.
+func TestBatchFallbackCounter(t *testing.T) {
+	req := JobRequest{
+		Circuit:    "C432",
+		Population: PopulationSpec{Size: 2000, Seed: 5},
+		Options:    EstimateOptions{Seed: 13, Epsilon: 0.0001, MaxHyperSamples: 4, Workers: 1},
+		Streaming:  true,
+	}
+	srv, _ := newTestServer(t, ManagerConfig{Workers: 1})
+	id := submitJob(t, srv, req)
+	st := waitTerminal(t, srv, id)
+	if st.State != StateDone {
+		t.Fatalf("clean job finished %s: %s", st.State, st.Error)
+	}
+	clean := fetchResult(t, srv, id)
+	if got := serviceStats(t, srv).BatchFallbacks; got != 0 {
+		t.Fatalf("clean run counted %d batch fallbacks", got)
+	}
+
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Arm("vectorgen/sample-batch", 0, func() error {
+		return errors.New("injected batch-engine failure")
+	})
+	id = submitJob(t, srv, req)
+	st = waitTerminal(t, srv, id)
+	if st.State != StateDone {
+		t.Fatalf("degraded job finished %s: %s", st.State, st.Error)
+	}
+	degraded := fetchResult(t, srv, id)
+	if got := serviceStats(t, srv).BatchFallbacks; got == 0 {
+		t.Error("batch fallbacks not counted in /v1/stats")
+	}
+	if clean.Estimate != degraded.Estimate || clean.Units != degraded.Units {
+		t.Errorf("scalar fallback changed the result: %+v vs %+v", clean, degraded)
+	}
+}

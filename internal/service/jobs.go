@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/evt"
 	"repro/internal/faultpoint"
+	"repro/internal/fleet"
 	"repro/internal/netlist"
 	"repro/maxpower"
 )
@@ -61,6 +62,21 @@ type ManagerConfig struct {
 	// RetainFor is the terminal-job TTL: jobs finished longer ago are
 	// evicted by the janitor. 0 = default 1h, < 0 = no TTL.
 	RetainFor time.Duration
+	// FleetWorkers, when non-empty, turns this instance into a fleet
+	// coordinator: submitted jobs are split into shards (see ShardSize)
+	// and fanned out to these worker daemons' /v1/shards APIs instead of
+	// running locally. The merged result is bit-identical to a
+	// single-node run with the same shard plan. Every instance — with or
+	// without FleetWorkers — serves /v1/shards and can act as a worker.
+	FleetWorkers []string
+	// ShardSize is hyper-samples per shard in coordinator mode
+	// (0 = fleet.DefaultShardSize). Part of the shard plan: a fleet run
+	// and its single-node reference must agree on it to bit-match.
+	ShardSize int
+	// ShardTimeout bounds one shard dispatch attempt in coordinator
+	// mode; a shard exceeding it is cancelled on that worker and retried
+	// on the next (0 = no per-attempt cap).
+	ShardTimeout time.Duration
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -136,6 +152,18 @@ type Manager struct {
 	journal *journal
 	crashed atomic.Bool
 
+	// Fleet state: the worker-side shard table (every instance serves
+	// shards) and, in coordinator mode, the fan-out coordinator.
+	shards     map[string]*shardJob
+	shardOrder []string
+	shardQueue chan *shardJob
+	fleetCoord *fleet.Coordinator
+
+	shardsExecuted  atomic.Int64
+	shardsFailed    atomic.Int64
+	shardsCancelled atomic.Int64
+	batchFallbacks  atomic.Int64
+
 	jobsSubmitted    atomic.Int64
 	jobsCompleted    atomic.Int64
 	jobsFailed       atomic.Int64
@@ -174,10 +202,17 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	m := &Manager{
 		cfg:        cfg,
 		jobs:       make(map[string]*job),
+		shards:     make(map[string]*shardJob),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		circuits:   newLRU[*netlist.Circuit](8),
 		pops:       newLRU[*maxpower.Population](cfg.CacheSize),
+	}
+	if len(cfg.FleetWorkers) > 0 {
+		m.fleetCoord = &fleet.Coordinator{
+			Workers:      cfg.FleetWorkers,
+			ShardTimeout: cfg.ShardTimeout,
+		}
 	}
 	var pending []*job
 	if cfg.DataDir != "" {
@@ -206,9 +241,11 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 			return nil, err
 		}
 	}
+	m.shardQueue = make(chan *shardJob, cfg.QueueDepth)
 	for i := 0; i < cfg.Workers; i++ {
-		m.wg.Add(1)
+		m.wg.Add(2)
 		go m.worker()
+		go m.shardWorker()
 	}
 	if cfg.RetainFor > 0 {
 		m.janitorStop = make(chan struct{})
@@ -542,6 +579,14 @@ func (m *Manager) Stats() Stats {
 		RejectedShutdown: m.rejectedShutdown.Load(),
 		RejectedInvalid:  m.rejectedInvalid.Load(),
 		JournalErrors:    m.journalErrs.Load(),
+
+		ShardsExecuted:        m.shardsExecuted.Load(),
+		ShardsFailed:          m.shardsFailed.Load(),
+		ShardsCancelled:       m.shardsCancelled.Load(),
+		BatchFallbacks:        m.batchFallbacks.Load(),
+		FleetShardsDispatched: m.FleetStats().ShardsDispatched,
+		FleetShardsRetried:    m.FleetStats().ShardsRetried,
+		FleetShardsCancelled:  m.FleetStats().ShardsCancelled,
 	}
 }
 
@@ -558,6 +603,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 	m.closed = true
 	close(m.queue)
+	close(m.shardQueue)
 	if m.janitorStop != nil {
 		close(m.janitorStop)
 	}
@@ -723,8 +769,13 @@ func (m *Manager) executeRecover(ctx context.Context, j *job) (res maxpower.Resu
 }
 
 // execute resolves the circuit, picks streaming vs. population mode,
-// and runs the estimator with the progress observer attached.
+// and runs the estimator with the progress observer attached. In
+// coordinator mode (cfg.FleetWorkers set) the job is instead sharded
+// and fanned out to the fleet.
 func (m *Manager) execute(ctx context.Context, j *job) (maxpower.Result, bool, error) {
+	if m.fleetCoord != nil {
+		return m.executeFleet(ctx, j)
+	}
 	c, err := m.resolveCircuit(j.req)
 	if err != nil {
 		return maxpower.Result{}, false, err
@@ -752,36 +803,48 @@ func (m *Manager) execute(ctx context.Context, j *job) (maxpower.Result, bool, e
 		if budget := m.cfg.SimWorkers; budget > 0 && (opt.Workers <= 0 || opt.Workers > budget) {
 			opt.Workers = budget
 		}
+		opt.OnBatchFallback = m.noteBatchFallbacks
 		res, err := maxpower.EstimateStreamingContext(ctx, c, spec, opt)
 		return res, false, err
 	}
 
-	ck := circuitKey(j.req.Circuit, j.req.Bench)
+	pop, hit, err := m.resolvePopulation(c, j.req, spec)
+	if err != nil {
+		return maxpower.Result{}, false, err
+	}
+	res, err := maxpower.EstimateContext(ctx, pop, opt)
+	return res, hit, err
+}
+
+// resolvePopulation returns the job's finite population, reusing built
+// instances through the population LRU — shared between whole jobs and
+// fleet shards, so every shard of a job reuses one build per worker.
+func (m *Manager) resolvePopulation(c *netlist.Circuit, req JobRequest, spec maxpower.PopulationSpec) (*maxpower.Population, bool, error) {
+	ck := circuitKey(req.Circuit, req.Bench)
 	pk := populationKey(ck, spec)
 	pop, hit := m.pops.get(pk)
 	if hit {
 		expCacheHits.Add(1)
-	} else {
-		expCacheMisses.Add(1)
-		if ferr := faultpoint.Hit("service/population-build"); ferr != nil {
-			return maxpower.Result{}, false, ferr
-		}
-		buildStart := time.Now()
-		pop, err = maxpower.BuildPopulation(c, spec)
-		if err != nil {
-			return maxpower.Result{}, false, err
-		}
-		// A population build is pure simulation work; count its wall time
-		// on the sim side of the sim/MLE split.
-		buildNS := int64(time.Since(buildStart))
-		m.simNS.Add(buildNS)
-		expSimNS.Add(buildNS)
-		m.pairsSimulated.Add(int64(pop.Size()))
-		expPairsSimulated.Add(int64(pop.Size()))
-		m.pops.add(pk, pop)
+		return pop, true, nil
 	}
-	res, err := maxpower.EstimateContext(ctx, pop, opt)
-	return res, hit, err
+	expCacheMisses.Add(1)
+	if ferr := faultpoint.Hit("service/population-build"); ferr != nil {
+		return nil, false, ferr
+	}
+	buildStart := time.Now()
+	pop, err := maxpower.BuildPopulation(c, spec)
+	if err != nil {
+		return nil, false, err
+	}
+	// A population build is pure simulation work; count its wall time
+	// on the sim side of the sim/MLE split.
+	buildNS := int64(time.Since(buildStart))
+	m.simNS.Add(buildNS)
+	expSimNS.Add(buildNS)
+	m.pairsSimulated.Add(int64(pop.Size()))
+	expPairsSimulated.Add(int64(pop.Size()))
+	m.pops.add(pk, pop)
+	return pop, false, nil
 }
 
 // resolveCircuit returns the job's circuit, reusing parsed/generated
@@ -901,6 +964,7 @@ func (m *Manager) killForTest() {
 	m.closed = true
 	m.crashed.Store(true)
 	close(m.queue)
+	close(m.shardQueue)
 	if m.janitorStop != nil {
 		close(m.janitorStop)
 	}

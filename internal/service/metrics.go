@@ -34,4 +34,12 @@ var (
 	expRejectedShutdown = expvar.NewInt("maxpowerd_rejected_shutting_down")
 	expRejectedInvalid  = expvar.NewInt("maxpowerd_rejected_invalid")
 	expJournalErrors    = expvar.NewInt("maxpowerd_journal_errors")
+	// Fleet counters: worker-side shard executions and the streaming
+	// batch-to-scalar fallback count (results unaffected, degradation
+	// visible). Coordinator-side dispatch counters live on the
+	// per-instance /v1/stats (fleet_shards_*), fed by fleet.Coordinator.
+	expShardsExecuted  = expvar.NewInt("maxpowerd_shards_executed")
+	expShardsFailed    = expvar.NewInt("maxpowerd_shards_failed")
+	expShardsCancelled = expvar.NewInt("maxpowerd_shards_cancelled")
+	expBatchFallbacks  = expvar.NewInt("maxpowerd_batch_fallbacks")
 )

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/fleet"
 	"repro/maxpower"
 )
 
@@ -29,6 +30,9 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/shards", s.handleShardSubmit)
+	s.mux.HandleFunc("GET /v1/shards/{id}", s.handleShardStatus)
+	s.mux.HandleFunc("DELETE /v1/shards/{id}", s.handleShardCancel)
 	s.mux.HandleFunc("GET /v1/circuits", s.handleCircuits)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -146,6 +150,87 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": r.PathValue("id"), "state": "cancelling"})
+}
+
+// handleShardSubmit is POST /v1/shards: the worker side of a fleet.
+// Accepts one shard of a sharded job, idempotently by shard ID (a
+// duplicate submit returns the shard's current status; a failed or
+// cancelled shard re-enqueues — the coordinator's retry path). The
+// embedded job payload is validated with the job schema before the
+// shard is accepted.
+func (s *Server) handleShardSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.mgr.NoteRejectedInvalid()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", "request body exceeds 8 MiB")
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_body", err.Error())
+		return
+	}
+	var req fleet.ShardRequest
+	if err := unmarshalStrict(body, &req); err != nil {
+		s.mgr.NoteRejectedInvalid()
+		writeError(w, http.StatusBadRequest, "bad_json", err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.mgr.NoteRejectedInvalid()
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	var jobReq JobRequest
+	if err := unmarshalStrict(req.Job, &jobReq); err != nil {
+		s.mgr.NoteRejectedInvalid()
+		writeError(w, http.StatusBadRequest, "bad_json", "job payload: "+err.Error())
+		return
+	}
+	if err := jobReq.Validate(isBuiltinCircuit); err != nil {
+		s.mgr.NoteRejectedInvalid()
+		writeError(w, http.StatusBadRequest, "invalid_request", "job payload: "+err.Error())
+		return
+	}
+	st, err := s.mgr.SubmitShard(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "queue_full", err.Error())
+		return
+	case errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", "30")
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleShardStatus is GET /v1/shards/{id}: lifecycle state, progress,
+// and — once done — the records the coordinator merges.
+func (s *Server) handleShardStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.ShardStatusOf(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleShardCancel is DELETE /v1/shards/{id}: stop a queued/running
+// shard. Cancelling a terminal shard is a no-op returning its status
+// (coordinators cancel best-effort during early stop, racing normal
+// completion).
+func (s *Server) handleShardCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.CancelShard(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleCircuits is GET /v1/circuits: the built-in benchmark table.

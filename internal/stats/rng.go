@@ -66,6 +66,33 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xa0761d6478bd642f)
 }
 
+// jumpPoly is the published xoshiro256** jump polynomial (Blackman &
+// Vigna): applying it advances the generator by exactly 2^128 steps.
+var jumpPoly = [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+
+// Jump advances the generator by 2^128 steps in O(256) work. Jumping k
+// times from a common origin yields k+1 streams whose next 2^128 outputs
+// are pairwise non-overlapping, which is how a job seed deterministically
+// derives per-shard substreams: shard k samples from the origin state
+// jumped k times. Jump is a pure function of the state, so it composes
+// with State/SetState — capturing the state, jumping, and restoring
+// round-trips exactly.
+func (r *RNG) Jump() {
+	var s [4]uint64
+	for _, p := range jumpPoly {
+		for b := 0; b < 64; b++ {
+			if p&(1<<uint(b)) != 0 {
+				s[0] ^= r.s[0]
+				s[1] ^= r.s[1]
+				s[2] ^= r.s[2]
+				s[3] ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s = s
+}
+
 // State returns the generator's internal state. Together with SetState it
 // is the checkpoint seam: capturing the state after N draws and restoring
 // it later continues the exact same stream, so interrupted computations

@@ -237,3 +237,100 @@ func TestSetStateZeroGuard(t *testing.T) {
 		t.Fatal("zero state produced a stuck generator")
 	}
 }
+
+// TestJumpStreamsDisjoint walks a long prefix of the base stream and of
+// its one-jump sibling and requires the two 256-bit state trajectories to
+// never intersect. A correct 2^128-step jump makes an intersection within
+// any testable prefix impossible; an incorrect jump that lands "nearby"
+// (e.g. a small forward skip) is caught because the prefixes would
+// overlap almost immediately.
+func TestJumpStreamsDisjoint(t *testing.T) {
+	const prefix = 1 << 16
+	a := NewRNG(99)
+	b := NewRNG(99)
+	b.Jump()
+	seen := make(map[[4]uint64]struct{}, prefix)
+	for i := 0; i < prefix; i++ {
+		seen[a.State()] = struct{}{}
+		a.Uint64()
+	}
+	for i := 0; i < prefix; i++ {
+		if _, hit := seen[b.State()]; hit {
+			t.Fatalf("jumped stream re-entered the base trajectory at step %d", i)
+		}
+		b.Uint64()
+	}
+}
+
+// TestJumpCommutesWithStepping exercises the linearity Jump relies on:
+// jump-then-step-n and step-n-then-jump are the same linear map applied
+// in either order, so they must land on the identical state. An
+// implementation with a wrong polynomial, wrong bit order, or a missing
+// state fold breaks this for almost every n.
+func TestJumpCommutesWithStepping(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 1000} {
+		a := NewRNG(1234)
+		a.Jump()
+		for i := 0; i < n; i++ {
+			a.Uint64()
+		}
+		b := NewRNG(1234)
+		for i := 0; i < n; i++ {
+			b.Uint64()
+		}
+		b.Jump()
+		if a.State() != b.State() {
+			t.Fatalf("jump does not commute with %d steps:\n jump-first %x\n step-first %x", n, a.State(), b.State())
+		}
+	}
+}
+
+// TestJumpComposesWithStateRoundTrip: capturing the state, jumping, and
+// restoring must reproduce the same jumped state — Jump reads nothing
+// outside the four state words, so it composes with the checkpoint seam.
+func TestJumpComposesWithStateRoundTrip(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 37; i++ {
+		r.Uint64()
+	}
+	saved := r.State()
+	r.Jump()
+	jumped := r.State()
+	firstOut := r.Uint64()
+
+	fresh := NewRNG(0)
+	fresh.SetState(saved)
+	fresh.Jump()
+	if fresh.State() != jumped {
+		t.Fatalf("Jump after SetState diverged:\n got  %x\n want %x", fresh.State(), jumped)
+	}
+	if got := fresh.Uint64(); got != firstOut {
+		t.Fatalf("first output after restored jump = %x, want %x", got, firstOut)
+	}
+
+	// And restoring the pre-jump state again replays the same jump.
+	again := NewRNG(0)
+	again.SetState(saved)
+	again.Jump()
+	if again.State() != jumped {
+		t.Fatalf("Jump is not a pure function of the state")
+	}
+}
+
+// TestJumpDistinctPerShard: the first outputs of k jumped substreams are
+// pairwise distinct — the property the shard planner depends on for
+// non-overlapping per-shard sampling.
+func TestJumpDistinctPerShard(t *testing.T) {
+	r := NewRNG(5)
+	outs := make(map[uint64]int)
+	for k := 0; k < 64; k++ {
+		sub := NewRNG(0)
+		sub.SetState(r.State())
+		v := sub.Uint64()
+		if prev, dup := outs[v]; dup {
+			t.Fatalf("shards %d and %d share their first output %x", prev, k, v)
+		}
+		outs[v] = k
+		r.Jump()
+	}
+}

@@ -39,10 +39,11 @@ type StreamSource struct {
 	// (0 = NumCPU). It never affects results, only wall time.
 	Workers int
 
-	eng       *evalEngine     // lazily built; rebuilt when Workers changes
-	packed    sim.PackedPairs // reused per batch: the bit-plane batch buffer
-	simulated atomic.Int64
-	batchErr  error
+	eng            *evalEngine     // lazily built; rebuilt when Workers changes
+	packed         sim.PackedPairs // reused per batch: the bit-plane batch buffer
+	simulated      atomic.Int64
+	batchFallbacks atomic.Int64
+	batchErr       error
 }
 
 // NewStreamSource builds an on-demand source from an evaluator and a
@@ -93,7 +94,10 @@ func (s *StreamSource) SampleBatch(rng *stats.RNG, dst []float64) {
 		// recovering serially preserves the determinism contract while the
 		// recorded error keeps the failure visible. The pairs are unpacked
 		// from the very planes the batch engine saw.
-		s.batchErr = err
+		if s.batchErr == nil {
+			s.batchErr = err
+		}
+		s.batchFallbacks.Add(1)
 		v1 := make([]bool, s.packed.Inputs)
 		v2 := make([]bool, s.packed.Inputs)
 		for i := range dst {
@@ -127,3 +131,8 @@ func (s *StreamSource) Simulated() int64 { return s.simulated.Load() }
 // or nil. The affected batches were transparently re-evaluated serially,
 // so results are unaffected; the error is surfaced for observability.
 func (s *StreamSource) BatchErr() error { return s.batchErr }
+
+// BatchFallbacks returns how many batches fell back to the scalar oracle
+// after a batch-engine error. Paired with BatchErr: the error says what
+// went wrong first, the counter says how often it kept happening.
+func (s *StreamSource) BatchFallbacks() int64 { return s.batchFallbacks.Load() }

@@ -1,0 +1,196 @@
+package maxpower_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/faultpoint"
+	"repro/maxpower"
+)
+
+func distFixture(t *testing.T) *maxpower.Population {
+	t.Helper()
+	c, err := maxpower.Circuit("C432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := maxpower.BuildPopulation(c, maxpower.PopulationSpec{Size: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+// TestPlanShardsDerivation: the shard list covers the budget exactly
+// and is stable across calls.
+func TestPlanShardsDerivation(t *testing.T) {
+	opt := maxpower.EstimateOptions{Seed: 13, MaxHyperSamples: 10}
+	shards, err := maxpower.PlanShards(opt, maxpower.DistributedOptions{ShardSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	total := 0
+	for i, sh := range shards {
+		if sh.Index != i || sh.Start != total {
+			t.Errorf("shard %d: index/start = %d/%d, want %d/%d", i, sh.Index, sh.Start, i, total)
+		}
+		total += sh.Count
+	}
+	if total != 10 {
+		t.Errorf("shards cover %d hyper-samples, want 10", total)
+	}
+	again, err := maxpower.PlanShards(opt, maxpower.DistributedOptions{ShardSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if shards[i] != again[i] {
+			t.Fatalf("shard derivation is not stable: %+v vs %+v", shards[i], again[i])
+		}
+	}
+}
+
+// TestEstimateDistributedOneShardMatchesEstimate: a one-shard plan is
+// the classic sequential run, bit for bit — the degenerate case that
+// anchors the whole determinism contract.
+func TestEstimateDistributedOneShardMatchesEstimate(t *testing.T) {
+	pop := distFixture(t)
+	opt := maxpower.EstimateOptions{Seed: 13, Epsilon: 0.02, MaxHyperSamples: 24}
+	want, err := maxpower.Estimate(pop, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := maxpower.EstimateDistributed(pop, opt, maxpower.DistributedOptions{ShardSize: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "one-shard plan", got, want)
+}
+
+// TestEstimateDistributedDeterministic: the sharded run is identical
+// across repeats and across shard-local recomputation (RunShard +
+// MergeShardRecords by hand).
+func TestEstimateDistributedDeterministic(t *testing.T) {
+	pop := distFixture(t)
+	opt := maxpower.EstimateOptions{Seed: 13, Epsilon: 0.02, MaxHyperSamples: 24}
+	dopt := maxpower.DistributedOptions{ShardSize: 4}
+	first, err := maxpower.EstimateDistributed(pop, opt, dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := maxpower.EstimateDistributed(pop, opt, dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "repeat", first, second)
+
+	// Worker-side recomputation: run every shard independently (as the
+	// fleet would, in any order on any machine) and merge.
+	shards, err := maxpower.PlanShards(opt, dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShard := make([][]maxpower.HyperRecord, len(shards))
+	for i := len(shards) - 1; i >= 0; i-- { // reversed: order must not matter
+		perShard[i], err = maxpower.RunShard(context.Background(), pop, opt, shards[i], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := maxpower.MergeShardRecords(opt, perShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "manual merge", merged, first)
+}
+
+// TestEstimateDistributedProgressAndCancel: progress fires per
+// hyper-sample with the folded global state; cancelling returns the
+// partial prefix without error.
+func TestEstimateDistributedProgressAndCancel(t *testing.T) {
+	pop := distFixture(t)
+	opt := maxpower.EstimateOptions{Seed: 13, Epsilon: 0.0001, MaxHyperSamples: 12}
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen []int
+	opt.Progress = func(p maxpower.ProgressSnapshot) {
+		seen = append(seen, p.HyperSamples)
+		if len(seen) == 5 {
+			cancel()
+		}
+	}
+	res, err := maxpower.EstimateDistributedContext(ctx, pop, opt, maxpower.DistributedOptions{ShardSize: 3})
+	if err != nil {
+		t.Fatalf("cancelled distributed run errored: %v", err)
+	}
+	if res.HyperSamples >= 12 {
+		t.Errorf("cancel had no effect: ran all %d hyper-samples", res.HyperSamples)
+	}
+	for i, k := range seen {
+		if k != i+1 {
+			t.Fatalf("progress hyper-sample counts not global/monotonic: %v", seen)
+		}
+	}
+}
+
+// TestEstimateDistributedRejectsCheckpointing: the whole-run checkpoint
+// seam does not compose with sharding and must be refused loudly.
+func TestEstimateDistributedRejectsCheckpointing(t *testing.T) {
+	pop := distFixture(t)
+	opt := maxpower.EstimateOptions{Checkpoint: &maxpower.Checkpoint{}}
+	if _, err := maxpower.EstimateDistributed(pop, opt, maxpower.DistributedOptions{}); err == nil {
+		t.Error("Checkpoint accepted by distributed run")
+	}
+	opt = maxpower.EstimateOptions{OnCheckpoint: func(maxpower.Checkpoint) {}}
+	if _, err := maxpower.EstimateDistributed(pop, opt, maxpower.DistributedOptions{}); err == nil {
+		t.Error("OnCheckpoint accepted by distributed run")
+	}
+}
+
+// TestRunShardStreamingMatchesPopulationless: the streaming shard
+// runner produces the same records as a direct streaming shard and
+// reports batch fallbacks through the options hook when the batch
+// engine is sabotaged.
+func TestRunShardStreamingFallbackHook(t *testing.T) {
+	c, err := maxpower.Circuit("C432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := maxpower.PopulationSpec{Size: 2000, Seed: 5, DelayModel: "zero"}
+	opt := maxpower.EstimateOptions{Seed: 13, MaxHyperSamples: 4, Workers: 1}
+	shards, err := maxpower.PlanShards(opt, maxpower.DistributedOptions{ShardSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := maxpower.RunShardStreaming(context.Background(), c, spec, opt, shards[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Arm("vectorgen/sample-batch", 0, func() error {
+		return errors.New("injected batch failure")
+	})
+	var gotCount int64
+	var gotErr error
+	opt.OnBatchFallback = func(count int64, err error) { gotCount, gotErr = count, err }
+	degraded, err := maxpower.RunShardStreaming(context.Background(), c, spec, opt, shards[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCount == 0 || gotErr == nil {
+		t.Errorf("OnBatchFallback not invoked: count=%d err=%v", gotCount, gotErr)
+	}
+	if len(clean) != len(degraded) {
+		t.Fatalf("record count changed under fallback: %d vs %d", len(clean), len(degraded))
+	}
+	for i := range clean {
+		if clean[i] != degraded[i] {
+			t.Errorf("record %d changed under scalar fallback: %+v vs %+v", i, clean[i], degraded[i])
+		}
+	}
+}

@@ -231,6 +231,13 @@ type EstimateOptions struct {
 	// after every completed hyper-sample. Synchronous, consumes no
 	// randomness, never changes the result.
 	OnCheckpoint func(Checkpoint)
+	// OnBatchFallback, when non-nil, is called once after a streaming run
+	// whose batch engine fell back to the scalar oracle: count is how many
+	// batches recovered serially, err the first engine error. Results are
+	// unaffected (the scalar path is bit-identical); this is the
+	// observability hook services use to count silent degradation.
+	// Ignored by Estimate, which never batches.
+	OnBatchFallback func(count int64, err error)
 }
 
 // ProgressSnapshot is the running state of an estimation after a
@@ -267,8 +274,12 @@ func (opt EstimateOptions) Validate() error {
 	return nil
 }
 
-func (opt EstimateOptions) evtConfig() evt.Config {
-	cfg := evt.Config{
+// evtParams maps the statistical knobs onto an evt.Config, without the
+// run hooks (Observer, Resume, OnCheckpoint). Sharded runs use this
+// form: the same parameters drive every shard estimator and the fold,
+// while the hooks stay with whoever owns the whole run.
+func (opt EstimateOptions) evtParams() evt.Config {
+	return evt.Config{
 		SampleSize:              opt.SampleSize,
 		SamplesPerHyper:         opt.SamplesPerHyper,
 		Epsilon:                 opt.Epsilon,
@@ -276,6 +287,10 @@ func (opt EstimateOptions) evtConfig() evt.Config {
 		MaxHyperSamples:         opt.MaxHyperSamples,
 		DisableFiniteCorrection: opt.DisableFiniteCorrection,
 	}
+}
+
+func (opt EstimateOptions) evtConfig() evt.Config {
+	cfg := opt.evtParams()
 	if opt.Progress != nil {
 		cfg.Observer = evt.ObserverFunc(opt.Progress)
 	}
@@ -345,7 +360,20 @@ func EstimateStreamingContext(ctx context.Context, c *netlist.Circuit, spec Popu
 	if err != nil {
 		return Result{}, err
 	}
-	return est.RunContext(ctx, stats.NewRNG(opt.Seed)), nil
+	res := est.RunContext(ctx, stats.NewRNG(opt.Seed))
+	reportBatchFallbacks(src, opt)
+	return res, nil
+}
+
+// reportBatchFallbacks surfaces a streaming source's silent
+// batch-to-scalar degradation through the options hook.
+func reportBatchFallbacks(src *vectorgen.StreamSource, opt EstimateOptions) {
+	if opt.OnBatchFallback == nil {
+		return
+	}
+	if n := src.BatchFallbacks(); n > 0 {
+		opt.OnBatchFallback(n, src.BatchErr())
+	}
 }
 
 // EstimateCircuit is the one-shot convenience: build the named circuit's
