@@ -21,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/power"
 	"repro/internal/service"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vectorgen"
 )
@@ -308,6 +309,21 @@ func BenchmarkEstimateStreaming(b *testing.B) {
 		src.Workers = workers
 		return src
 	}
+	// Compiled variants run the multi-word striped kernel (sim.Program +
+	// sim.Striped) the production maxpower paths enable by default; the
+	// shared cache amortizes the one-time netlist compile across b.N.
+	kernels := sim.NewProgramCache(4)
+	newCompiledSource := func(b *testing.B, model delay.Model, workers int) *vectorgen.StreamSource {
+		b.Helper()
+		ev := power.NewEvaluator(c, model, power.Params{})
+		ev.UseKernels(kernels, c.Name+"/"+model.Name())
+		src, err := vectorgen.NewStreamSource(ev, gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src.Workers = workers
+		return src
+	}
 
 	// Zero delay: the batch path packs 64 pairs per settle pass.
 	b.Run("zero/scalar", func(b *testing.B) {
@@ -318,6 +334,9 @@ func BenchmarkEstimateStreaming(b *testing.B) {
 	})
 	b.Run("zero/batched-ncpu", func(b *testing.B) {
 		run(b, newSource(b, delay.Zero{}, runtime.NumCPU()))
+	})
+	b.Run("zero/compiled-1", func(b *testing.B) {
+		run(b, newCompiledSource(b, delay.Zero{}, 1))
 	})
 	// Timed (fanout-loaded) delay: the lane-packed event-driven TimedBatch
 	// simulates 64 pairs per pass (sim/timedbatch.go), so the single-worker
@@ -331,6 +350,12 @@ func BenchmarkEstimateStreaming(b *testing.B) {
 	})
 	b.Run("fanout/batched-ncpu", func(b *testing.B) {
 		run(b, newSource(b, delay.FanoutLoaded{}, runtime.NumCPU()))
+	})
+	b.Run("fanout/compiled-1", func(b *testing.B) {
+		run(b, newCompiledSource(b, delay.FanoutLoaded{}, 1))
+	})
+	b.Run("fanout/compiled-ncpu", func(b *testing.B) {
+		run(b, newCompiledSource(b, delay.FanoutLoaded{}, runtime.NumCPU()))
 	})
 }
 

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	benchstream                      # all circuit × delay-model variants
+//	benchstream                      # all circuit × delay-model × engine variants
 //	benchstream -circuits C432       # subset
 //	benchstream -iterations 3        # runs per variant (report the mean)
 //	benchstream -o BENCH_streaming.json
@@ -17,11 +17,21 @@
 // ε = 0.001 (the BenchmarkEstimateStreaming configuration) and times
 // complete runs via testing.Benchmark, single worker, so the number is
 // the single-core cost of the lane-packed engines — comparable across
-// commits on the same machine, not across machines. Allocation figures
-// (allocs_per_run, bytes_per_run) come from the same runs via
-// -benchmem-style accounting; unlike wall time they ARE comparable
-// across machines, which is why -check gates on bytes_per_run: a >25%
-// growth over the committed baseline fails the build.
+// commits on the same machine, not across machines. Every circuit ×
+// delay-model pair is measured on two engines: "batched" (the
+// interpreted packed-vector pipeline) and "compiled" (the flat striped
+// kernel, sharing one program cache across iterations the way the
+// service does). Allocation figures (allocs_per_run, bytes_per_run)
+// come from the same runs via -benchmem-style accounting.
+//
+// -check gates on two axes against the committed baseline:
+//   - bytes_per_run: allocation volume is a property of the code and
+//     comparable across machines; >25% growth fails.
+//   - ns_per_run: wall time is machine-dependent, so the gate is
+//     deliberately loose (>25% growth with an absolute floor) and the
+//     baseline must be refreshed whenever the reference machine
+//     changes; it exists to catch order-of-magnitude kernel
+//     regressions, not single-digit drift.
 package main
 
 import (
@@ -38,19 +48,34 @@ import (
 	"repro/internal/delay"
 	"repro/internal/evt"
 	"repro/internal/power"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vectorgen"
 )
 
-// Variant is one measured configuration.
+// Variant is one measured configuration. Engine is "batched" or
+// "compiled"; older baselines predate the field, and an empty value
+// reads as "batched" for gating.
 type Variant struct {
 	Circuit     string  `json:"circuit"`
 	Model       string  `json:"delay_model"`
+	Engine      string  `json:"engine,omitempty"`
 	NsPerOp     int64   `json:"ns_per_run"`
 	MsPerOp     float64 `json:"ms_per_run"`
 	Units       int     `json:"units_per_run"`
 	AllocsPerOp int64   `json:"allocs_per_run"`
 	BytesPerOp  int64   `json:"bytes_per_run"`
+}
+
+// key identifies a variant across baseline generations: an absent
+// engine field (pre-compiled-kernel baselines) gates the batched
+// engine.
+func (v Variant) key() string {
+	eng := v.Engine
+	if eng == "" {
+		eng = "batched"
+	}
+	return v.Circuit + "/" + v.Model + "/" + eng
 }
 
 // Baseline is the emitted document.
@@ -69,7 +94,7 @@ func main() {
 		circuits   = flag.String("circuits", "C432,C3540", "comma-separated benchmark circuits")
 		iterations = flag.Int("iterations", 3, "estimator runs per variant")
 		out        = flag.String("o", "BENCH_streaming.json", "output file (- for stdout)")
-		check      = flag.String("check", "", "baseline file to gate against (fails if bytes_per_run grows >25%); suppresses output file")
+		check      = flag.String("check", "", "baseline file to gate against (fails if bytes_per_run or ns_per_run grows >25%); suppresses output file")
 	)
 	flag.Parse()
 
@@ -82,6 +107,11 @@ func main() {
 		Iterations: *iterations,
 	}
 	models := []delay.Model{delay.Zero{}, delay.FanoutLoaded{}}
+	engines := []string{"batched", "compiled"}
+	// One program cache for the whole sweep, shared the way the service
+	// shares its kernel cache: each (circuit, model) compiles once and
+	// every iteration after that hits.
+	kernels := sim.NewProgramCache(16)
 	for _, name := range strings.Split(*circuits, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -92,13 +122,15 @@ func main() {
 			fatal(err)
 		}
 		for _, model := range models {
-			v, err := measure(name, c.NumInputs(), model, *iterations)
-			if err != nil {
-				fatal(err)
+			for _, engine := range engines {
+				v, err := measure(name, c.NumInputs(), model, engine, *iterations, kernels)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "%-8s %-14s %-9s %8.1f ms/run %10d B/run %6d allocs/run (%d units)\n",
+					v.Circuit, v.Model, v.Engine, v.MsPerOp, v.BytesPerOp, v.AllocsPerOp, v.Units)
+				base.Variants = append(base.Variants, v)
 			}
-			fmt.Fprintf(os.Stderr, "%-8s %-14s %8.1f ms/run %10d B/run %6d allocs/run (%d units)\n",
-				v.Circuit, v.Model, v.MsPerOp, v.BytesPerOp, v.AllocsPerOp, v.Units)
-			base.Variants = append(base.Variants, v)
 		}
 	}
 
@@ -106,7 +138,7 @@ func main() {
 		if err := checkAgainst(*check, base.Variants); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, "benchstream: allocation budget holds against", *check)
+		fmt.Fprintln(os.Stderr, "benchstream: allocation and wall-time budgets hold against", *check)
 		return
 	}
 
@@ -124,11 +156,16 @@ func main() {
 	}
 }
 
-// checkAgainst compares measured variants with the committed baseline and
-// errors if any variant's bytes_per_run grew more than 25% (with a small
-// absolute floor so near-zero baselines don't trip on kilobyte noise).
-// Wall time is deliberately not gated — it is machine-dependent — but
-// allocation volume is a property of the code.
+// checkAgainst compares measured variants with the committed baseline
+// and errors on regressions. bytes_per_run is gated at >25% growth
+// (with a small absolute floor so near-zero baselines don't trip on
+// kilobyte noise) — allocation volume is a property of the code.
+// ns_per_run is gated at the same ratio with a 2 ms absolute floor:
+// wall time IS machine-dependent, so the gate is only meaningful when
+// the baseline was refreshed on the reference machine, and it is
+// deliberately loose — it catches a kernel falling off a performance
+// cliff, not single-digit drift. Variants with no baseline entry (new
+// engines, new circuits) pass.
 func checkAgainst(path string, got []Variant) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -140,15 +177,16 @@ func checkAgainst(path string, got []Variant) error {
 	}
 	ref := make(map[string]Variant, len(want.Variants))
 	for _, v := range want.Variants {
-		ref[v.Circuit+"/"+v.Model] = v
+		ref[v.key()] = v
 	}
 	const (
-		growLimit  = 1.25
-		minGrowthB = 4 << 10 // ignore regressions under 4 KiB/run (seed-set jitter)
+		growLimit   = 1.25
+		minGrowthB  = 4 << 10   // ignore regressions under 4 KiB/run (seed-set jitter)
+		minGrowthNS = 2_000_000 // ignore regressions under 2 ms/run (scheduler noise)
 	)
 	var bad []string
 	for _, v := range got {
-		w, ok := ref[v.Circuit+"/"+v.Model]
+		w, ok := ref[v.key()]
 		if !ok {
 			continue // new variant: no baseline yet
 		}
@@ -157,19 +195,27 @@ func checkAgainst(path string, got []Variant) error {
 			limit = floor
 		}
 		if v.BytesPerOp > limit {
-			bad = append(bad, fmt.Sprintf("%s/%s: %d B/run vs baseline %d (limit %d)",
-				v.Circuit, v.Model, v.BytesPerOp, w.BytesPerOp, limit))
+			bad = append(bad, fmt.Sprintf("%s: %d B/run vs baseline %d (limit %d)",
+				v.key(), v.BytesPerOp, w.BytesPerOp, limit))
+		}
+		nsLimit := int64(float64(w.NsPerOp) * growLimit)
+		if floor := w.NsPerOp + minGrowthNS; nsLimit < floor {
+			nsLimit = floor
+		}
+		if v.NsPerOp > nsLimit {
+			bad = append(bad, fmt.Sprintf("%s: %.1f ms/run vs baseline %.1f (limit %.1f)",
+				v.key(), float64(v.NsPerOp)/1e6, float64(w.NsPerOp)/1e6, float64(nsLimit)/1e6))
 		}
 	}
 	if len(bad) > 0 {
-		return fmt.Errorf("bytes_per_run regression:\n  %s", strings.Join(bad, "\n  "))
+		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(bad, "\n  "))
 	}
 	return nil
 }
 
 // measure times complete single-worker estimator runs of the
 // BenchmarkEstimateStreaming configuration through testing.Benchmark.
-func measure(name string, inputs int, model delay.Model, iterations int) (Variant, error) {
+func measure(name string, inputs int, model delay.Model, engine string, iterations int, kernels *sim.ProgramCache) (Variant, error) {
 	circuit, err := bench.Generate(name)
 	if err != nil {
 		return Variant{}, err
@@ -179,7 +225,11 @@ func measure(name string, inputs int, model delay.Model, iterations int) (Varian
 	var units int
 	var runErr error
 	r := testing.Benchmark(func(b *testing.B) {
-		src, err := vectorgen.NewStreamSource(power.NewEvaluator(circuit, model, power.Params{}), gen)
+		ev := power.NewEvaluator(circuit, model, power.Params{})
+		if engine == "compiled" {
+			ev.UseKernels(kernels, name+"/"+model.Name())
+		}
+		src, err := vectorgen.NewStreamSource(ev, gen)
 		if err != nil {
 			runErr = err
 			b.Skip()
@@ -209,6 +259,7 @@ func measure(name string, inputs int, model delay.Model, iterations int) (Varian
 	return Variant{
 		Circuit:     name,
 		Model:       model.Name(),
+		Engine:      engine,
 		NsPerOp:     ns,
 		MsPerOp:     float64(ns) / 1e6,
 		Units:       units,

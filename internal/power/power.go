@@ -121,6 +121,16 @@ type Evaluator struct {
 	batch *sim.BitParallel // lazily created 64-lane settle engine (zero delay)
 	timed *sim.TimedBatch  // lazily created 64-lane timed engine (glitch-aware)
 
+	// Compiled-kernel state (UseKernels): the immutable program is shared
+	// across clones and — through the cache — across evaluators for the
+	// same (circuit, delay model); the striped executor is per-instance
+	// mutable run state, built lazily like batch/timed.
+	useKernels bool
+	kernels    *sim.ProgramCache
+	kernelKey  string
+	prog       *sim.Program
+	striped    *sim.Striped
+
 	// pack1/pack2 are the [][]bool-adapter pack scratch, reused across
 	// calls so the legacy batch entry points stop allocating per call.
 	// The packed core never touches them: callers of the packed APIs own
@@ -161,16 +171,70 @@ func NewEvaluator(c *netlist.Circuit, m delay.Model, p Params) *Evaluator {
 	}
 }
 
-// Clone returns an independent evaluator sharing the immutable model data.
+// Clone returns an independent evaluator sharing the immutable model data
+// — including any compiled kernel program, which is read-only and safe to
+// run from many clones at once (each clone builds its own executor).
 func (e *Evaluator) Clone() *Evaluator {
 	return &Evaluator{
-		simulator: e.simulator.Clone(),
-		params:    e.params,
-		energyW:   e.energyW,
-		leakW:     e.leakW,
-		clockS:    e.clockS,
-		glitch:    e.glitch,
+		simulator:  e.simulator.Clone(),
+		params:     e.params,
+		energyW:    e.energyW,
+		leakW:      e.leakW,
+		clockS:     e.clockS,
+		glitch:     e.glitch,
+		useKernels: e.useKernels,
+		kernels:    e.kernels,
+		kernelKey:  e.kernelKey,
+		prog:       e.prog,
 	}
+}
+
+// UseKernels switches the packed batch entry points onto the compiled
+// multi-word striped engine. cache, when non-nil, deduplicates the
+// compile under key (the service keys on circuit identity + delay model);
+// a nil cache compiles privately on first use. Either way results stay
+// bit-identical to the interpreted per-block path — the engine's
+// differential tests guarantee it against the scalar oracle.
+func (e *Evaluator) UseKernels(cache *sim.ProgramCache, key string) {
+	e.useKernels = true
+	e.kernels = cache
+	e.kernelKey = key
+	e.prog = nil
+	e.striped = nil
+}
+
+// KernelsEnabled reports whether the compiled striped engine is active.
+func (e *Evaluator) KernelsEnabled() bool { return e.useKernels }
+
+// program resolves the compiled program, through the shared cache when
+// one was provided. Delays come from the simulator's own assignment, so
+// the compiled kernel is oracle-exact by construction.
+func (e *Evaluator) program() *sim.Program {
+	if e.prog != nil {
+		return e.prog
+	}
+	c := e.Circuit()
+	opt := sim.CompileOptions{ZeroDelay: e.ZeroDelay()}
+	delays := e.simulator.DelaysPS()
+	if e.kernels == nil {
+		e.prog = sim.Compile(c, delays, opt)
+		return e.prog
+	}
+	fp := sim.Fingerprint(c, delays, opt)
+	e.prog = e.kernels.Get(e.kernelKey, fp, func() *sim.Program {
+		return sim.Compile(c, delays, opt)
+	})
+	return e.prog
+}
+
+// StripeWords returns the active kernel's stripe width in 64-lane words
+// (1 when kernels are disabled — the interpreted path works block by
+// block). Worker pools split packed batches at this granularity.
+func (e *Evaluator) StripeWords() int {
+	if !e.useKernels {
+		return 1
+	}
+	return e.program().StripeWords()
 }
 
 // Circuit returns the evaluated circuit.
@@ -372,6 +436,19 @@ func (e *Evaluator) BatchMWPacked(pp *sim.PackedPairs, out []float64) error {
 	if len(out) != pp.N {
 		return fmt.Errorf("power: %d power slots for %d packed pairs", len(out), pp.N)
 	}
+	if e.useKernels {
+		sl := e.program().StripeLanes()
+		for b0 := 0; b0 < pp.N; b0 += sl {
+			end := b0 + sl
+			if end > pp.N {
+				end = pp.N
+			}
+			if err := e.PackedStripeMW(pp, b0/sl, out[b0:end]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for b := 0; b < pp.Blocks(); b++ {
 		in1, in2, lanes := pp.Block(b)
 		if err := e.PackedBlockMW(in1, in2, out[b*64:b*64+lanes]); err != nil {
@@ -379,6 +456,116 @@ func (e *Evaluator) BatchMWPacked(pp *sim.PackedPairs, out []float64) error {
 		}
 	}
 	return nil
+}
+
+// PackedStripeMW evaluates one stripe — StripeWords 64-lane blocks — of
+// the packed batch through the compiled striped engine into out, which
+// must cover exactly the stripe's lanes (shorter on the final partial
+// stripe). The striped analogue of PackedBlockMW, exposed at the same
+// seam so worker pools can split batches at stripe granularity;
+// allocation-free in steady state and bit-identical per lane to the
+// scalar oracle for every delay model.
+func (e *Evaluator) PackedStripeMW(pp *sim.PackedPairs, stripe int, out []float64) error {
+	if !e.useKernels {
+		return fmt.Errorf("power: PackedStripeMW requires UseKernels")
+	}
+	p := e.program()
+	sl := p.StripeLanes()
+	lanes := pp.N - stripe*sl
+	if lanes > sl {
+		lanes = sl
+	}
+	if lanes <= 0 || len(out) != lanes {
+		return fmt.Errorf("power: %d power slots for stripe %d of %d packed pairs", len(out), stripe, pp.N)
+	}
+	if e.striped == nil {
+		e.striped = sim.NewStriped(p)
+		// Cycle energy needs only the toggle planes: skip the per-lane
+		// settle/event aggregation entirely.
+		e.striped.LaneStats = false
+	}
+	r := e.striped.Run(pp, stripe)
+	e.stripeMW(r, out)
+	return nil
+}
+
+// stripeMW folds a striped result into lane powers (mW). Per lane the
+// energy sum visits gates in ascending original order with one add per
+// toggled gate and the same eff expression as energyOf, so every lane's
+// float64 accumulation is bit-identical to the scalar path (compiled
+// slots ascend in gate id by construction).
+func (e *Evaluator) stripeMW(r *sim.StripedResult, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	aw := r.AW
+	// Glitch factors for the two in-block count values: lanes counting 2
+	// or 3 cover nearly every glitching lane, and their factors are the
+	// exact floats the per-lane formula produces (glitch·1 and glitch·2
+	// are exact scalings), so grouping a word's lanes by count keeps the
+	// sum bit-identical to the scalar walk while skipping per-lane Count
+	// reconstruction for everything below the overflow threshold.
+	eff2 := 1 + e.glitch
+	eff3 := 1 + e.glitch*2
+	for s := 0; s < r.NSlots; s++ {
+		eg := e.energyW[r.Gates[s]]
+		base := s * aw
+		for k := 0; k < r.AW; k++ {
+			any := r.Any[base+k]
+			if any == 0 {
+				continue
+			}
+			lane0 := k * 64
+			if lane0 >= len(out) {
+				break // inert packing lanes beyond the batch
+			}
+			sub := out[lane0:]
+			// Single-toggle lanes have eff = 1 exactly (MultiMask is
+			// empty under zero delay, where counts live in Any alone).
+			multi := r.MultiMask(s, k)
+			for m := any &^ multi; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(m)
+				if lane >= len(sub) {
+					break
+				}
+				sub[lane] += eg
+			}
+			if multi == 0 {
+				continue
+			}
+			b0, ov := r.CountBits(s, k)
+			e2 := eff2 * eg
+			for m := multi &^ b0 &^ ov; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(m)
+				if lane >= len(sub) {
+					break
+				}
+				sub[lane] += e2
+			}
+			e3 := eff3 * eg
+			for m := multi & b0 &^ ov; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(m)
+				if lane >= len(sub) {
+					break
+				}
+				sub[lane] += e3
+			}
+			// Overflow lanes (count ≥ 4) fall back to full count
+			// reconstruction — rare enough that the plane walk is noise.
+			for m := ov; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(m)
+				if lane >= len(sub) {
+					break
+				}
+				n := r.Count(s, k, lane)
+				eff := 1 + e.glitch*float64(n-1)
+				sub[lane] += eff * eg
+			}
+		}
+	}
+	for i := range out {
+		out[i] = (out[i]/e.clockS + e.leakW) * 1e3
+	}
 }
 
 // PackedBlockMW evaluates one 64-lane block of pre-packed bit planes

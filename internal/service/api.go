@@ -213,6 +213,16 @@ type Stats struct {
 	// view of how much of the estimation budget the simulator consumes.
 	SimNS int64 `json:"sim_ns"`
 	MLENS int64 `json:"mle_ns"`
+	// Kernel-cache counters (PR 7). Compiled simulation programs (one
+	// flat striped kernel per circuit + delay model) are shared across
+	// streaming jobs, population builds, and fleet shards through one
+	// LRU; KernelCompileNS accumulates the compile wall time paid on
+	// misses. The same numbers are mirrored process-wide as
+	// maxpowerd_kernel_cache_* on /debug/vars.
+	KernelCacheHits   int64 `json:"kernel_cache_hits"`
+	KernelCacheMisses int64 `json:"kernel_cache_misses"`
+	KernelCompileNS   int64 `json:"kernel_compile_ns"`
+	KernelsHeld       int64 `json:"kernels_cached"`
 	// Robustness counters (PR 4). JobsRecovered counts jobs re-enqueued
 	// from the journal after a restart; JobsEvicted, terminal jobs
 	// dropped by the retention policy; DeadlineExceeded, jobs stopped by

@@ -39,6 +39,9 @@ type ManagerConfig struct {
 	QueueDepth int
 	// CacheSize is the population LRU capacity in entries. Default 16.
 	CacheSize int
+	// KernelCacheSize is the compiled-kernel LRU capacity in programs
+	// (one per circuit + delay model pair). Default 16.
+	KernelCacheSize int
 	// SimWorkers bounds the per-job simulation parallelism: population
 	// builds and the batched per-hyper-sample simulation of streaming
 	// jobs (0 = NumCPU). A job may request fewer workers, never more.
@@ -91,6 +94,9 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 16
+	}
+	if c.KernelCacheSize <= 0 {
+		c.KernelCacheSize = 16
 	}
 	if c.RetainJobs == 0 {
 		c.RetainJobs = 512
@@ -145,6 +151,12 @@ type Manager struct {
 
 	circuits *lru[*netlist.Circuit]
 	pops     *lru[*maxpower.Population]
+	// kernels deduplicates compiled simulation programs (flat striped
+	// kernels keyed on circuit + delay model) across streaming jobs,
+	// population builds, and fleet shards — the third cache beside
+	// circuits and pops, living in maxpower so library callers share
+	// the implementation.
+	kernels *maxpower.KernelCache
 
 	// journal is non-nil when cfg.DataDir is set; crashed simulates a
 	// process death for chaos tests (outcome recording stops, as it
@@ -207,6 +219,18 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		baseCancel: cancel,
 		circuits:   newLRU[*netlist.Circuit](8),
 		pops:       newLRU[*maxpower.Population](cfg.CacheSize),
+		kernels:    maxpower.NewKernelCache(cfg.KernelCacheSize),
+	}
+	// Mirror kernel-cache activity onto the process-wide expvars, the
+	// same split the population cache gets in resolvePopulation. The
+	// per-instance numbers come straight from the cache in Stats().
+	m.kernels.OnEvent = func(hit bool, compileNS int64) {
+		if hit {
+			expKernelHits.Add(1)
+			return
+		}
+		expKernelMisses.Add(1)
+		expKernelCompileNS.Add(compileNS)
 	}
 	if len(cfg.FleetWorkers) > 0 {
 		m.fleetCoord = &fleet.Coordinator{
@@ -556,6 +580,7 @@ func (m *Manager) Cancel(id string) error {
 // Stats returns this instance's counters.
 func (m *Manager) Stats() Stats {
 	hits, misses := m.pops.stats()
+	ks := m.kernels.Stats()
 	return Stats{
 		JobsSubmitted:   m.jobsSubmitted.Load(),
 		JobsCompleted:   m.jobsCompleted.Load(),
@@ -570,6 +595,11 @@ func (m *Manager) Stats() Stats {
 		PopulationsHeld: int64(m.pops.len()),
 		SimNS:           m.simNS.Load(),
 		MLENS:           m.mleNS.Load(),
+
+		KernelCacheHits:   ks.Hits,
+		KernelCacheMisses: ks.Misses,
+		KernelCompileNS:   ks.CompileNS,
+		KernelsHeld:       int64(m.kernels.Len()),
 
 		JobsRecovered:    m.jobsRecovered.Load(),
 		JobsEvicted:      m.jobsEvicted.Load(),
@@ -782,6 +812,7 @@ func (m *Manager) execute(ctx context.Context, j *job) (maxpower.Result, bool, e
 	}
 	spec := j.req.Population.toLib(m.cfg.SimWorkers)
 	opt := j.req.Options.toLib()
+	opt.Kernels = m.kernels
 	opt.Progress = func(p maxpower.ProgressSnapshot) { m.recordProgress(j, p) }
 	// Resume from the last journaled checkpoint when replay attached one;
 	// the estimator continues the interrupted run bit-identically.
@@ -832,7 +863,7 @@ func (m *Manager) resolvePopulation(c *netlist.Circuit, req JobRequest, spec max
 		return nil, false, ferr
 	}
 	buildStart := time.Now()
-	pop, err := maxpower.BuildPopulation(c, spec)
+	pop, err := maxpower.BuildPopulationKernels(c, spec, m.kernels)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestKernelCacheSharedAcrossJobs: concurrent streaming jobs and a
+// population build over the same circuit + delay model compile the
+// striped simulation kernel exactly once, share the cached program, and
+// surface the hit/miss/compile-time counters on /v1/stats. Run under
+// -race this also exercises concurrent Estimate calls sharing one
+// program through the manager's cache.
+func TestKernelCacheSharedAcrossJobs(t *testing.T) {
+	req := JobRequest{
+		Circuit:    "C432",
+		Population: PopulationSpec{Size: 2000, Seed: 5},
+		Options:    EstimateOptions{Seed: 13, Epsilon: 0.0001, MaxHyperSamples: 4, Workers: 1},
+		Streaming:  true,
+	}
+	srv, _ := newTestServer(t, ManagerConfig{Workers: 2})
+
+	var wg sync.WaitGroup
+	ids := make([]string, 2)
+	for i := range ids {
+		ids[i] = submitJob(t, srv, req)
+	}
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if st := waitTerminal(t, srv, id); st.State != StateDone {
+				t.Errorf("job %s finished %s: %s", id, st.State, st.Error)
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	// A population build over the same circuit + delay model reuses the
+	// program the streaming jobs compiled.
+	popReq := JobRequest{
+		Circuit:    "C432",
+		Population: PopulationSpec{Size: 1000, Seed: 7},
+		Options:    EstimateOptions{Seed: 7},
+	}
+	if st := waitTerminal(t, srv, submitJob(t, srv, popReq)); st.State != StateDone {
+		t.Fatalf("population job finished %s: %s", st.State, st.Error)
+	}
+
+	s := serviceStats(t, srv)
+	if s.KernelCacheMisses != 1 {
+		t.Errorf("kernel_cache_misses = %d, want 1 (one circuit + delay model pair)", s.KernelCacheMisses)
+	}
+	if s.KernelCacheHits < 2 {
+		t.Errorf("kernel_cache_hits = %d, want >= 2 (second job + population build)", s.KernelCacheHits)
+	}
+	if s.KernelCompileNS <= 0 {
+		t.Errorf("kernel_compile_ns = %d, want > 0", s.KernelCompileNS)
+	}
+	if s.KernelsHeld != 1 {
+		t.Errorf("kernels_cached = %d, want 1", s.KernelsHeld)
+	}
+}
+
+// TestKernelCacheDelayModelKeying: jobs over the same circuit but
+// different delay models must not share a program — each model compiles
+// its own kernel through the service cache.
+func TestKernelCacheDelayModelKeying(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{Workers: 1})
+	for _, model := range []string{"zero", "fanout"} {
+		req := JobRequest{
+			Circuit:    "C432",
+			Population: PopulationSpec{Size: 2000, Seed: 5, DelayModel: model},
+			Options:    EstimateOptions{Seed: 13, Epsilon: 0.0001, MaxHyperSamples: 2, Workers: 1},
+			Streaming:  true,
+		}
+		if st := waitTerminal(t, srv, submitJob(t, srv, req)); st.State != StateDone {
+			t.Fatalf("%s job finished %s: %s", model, st.State, st.Error)
+		}
+	}
+	s := serviceStats(t, srv)
+	if s.KernelCacheMisses != 2 {
+		t.Errorf("kernel_cache_misses = %d, want 2 (one per delay model)", s.KernelCacheMisses)
+	}
+	if s.KernelsHeld != 2 {
+		t.Errorf("kernels_cached = %d, want 2", s.KernelsHeld)
+	}
+}

@@ -13,6 +13,14 @@ var (
 	expJobsCancelled  = expvar.NewInt("maxpowerd_jobs_cancelled")
 	expCacheHits      = expvar.NewInt("maxpowerd_population_cache_hits")
 	expCacheMisses    = expvar.NewInt("maxpowerd_population_cache_misses")
+	// Kernel-cache counters: compiled simulation programs (circuit +
+	// delay model → flat striped kernel) deduplicated across jobs,
+	// population builds, and fleet shards. CompileNS accumulates the
+	// wall time spent compiling on misses, so hit ratio × compile cost
+	// quantifies what the cache saves.
+	expKernelHits      = expvar.NewInt("maxpowerd_kernel_cache_hits")
+	expKernelMisses    = expvar.NewInt("maxpowerd_kernel_cache_misses")
+	expKernelCompileNS = expvar.NewInt("maxpowerd_kernel_compile_ns")
 	expPairsSimulated = expvar.NewInt("maxpowerd_pairs_simulated")
 	expUnitsSimulated = expvar.NewInt("maxpowerd_units_simulated")
 	expWorkersBusy    = expvar.NewInt("maxpowerd_workers_busy")

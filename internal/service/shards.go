@@ -257,6 +257,7 @@ func (m *Manager) executeShard(ctx context.Context, s *shardJob) ([]evt.HyperRec
 	}
 	spec := req.Population.toLib(m.cfg.SimWorkers)
 	opt := req.Options.toLib()
+	opt.Kernels = m.kernels
 	onHyper := func(done int, _ maxpower.HyperRecord) bool {
 		m.mu.Lock()
 		s.done = done

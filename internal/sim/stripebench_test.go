@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+)
+
+func benchStriped(b *testing.B, model delay.Model, lanes, width int) {
+	c := bench.MustGenerate("C3540")
+	p := CompileModel(c, model, CompileOptions{Width: width})
+	st := NewStriped(p)
+	st.LaneStats = false
+	rng := rand.New(rand.NewSource(7))
+	inputs := c.NumInputs()
+	v1 := make([][]bool, lanes)
+	v2 := make([][]bool, lanes)
+	for i := range v1 {
+		v1[i] = make([]bool, inputs)
+		v2[i] = make([]bool, inputs)
+		for j := 0; j < inputs; j++ {
+			v1[i][j] = rng.Intn(2) == 1
+			v2[i][j] = rng.Intn(2) == 1
+		}
+	}
+	pp := packVectors(inputs, v1, v2)
+	stripes := (pp.Blocks() + p.w - 1) / p.w
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < stripes; s++ {
+			st.Run(pp, s)
+		}
+	}
+}
+
+// BenchmarkStripedRun measures one full 512-lane stripe of the timed
+// kernel — the unit the streaming estimator spends its time in.
+func BenchmarkStripedRun(b *testing.B) {
+	b.Run("fanout/512", func(b *testing.B) { benchStriped(b, delay.FanoutLoaded{}, 512, 8) })
+	b.Run("fanout/300", func(b *testing.B) { benchStriped(b, delay.FanoutLoaded{}, 300, 8) })
+	b.Run("table/300", func(b *testing.B) { benchStriped(b, delay.StandardTable(), 300, 8) })
+}

@@ -99,22 +99,28 @@ func (e *evalEngine) evaluatePacked(pp *sim.PackedPairs, powers []float64) error
 	if pp.N == 0 {
 		return nil
 	}
-	blocks := pp.Blocks()
+	// The work unit is one engine pass: a 64-lane block on the interpreted
+	// path, a StripeWords-block stripe on the compiled path (StripeWords
+	// reports 1 when kernels are off, so the chunking math is shared).
+	// Workers own whole units either way, so every write lands at its own
+	// index and results stay bit-identical for any worker count.
+	span := e.evals[0].StripeWords()
+	units := (pp.Blocks() + span - 1) / span
 	workers := e.workers
-	if workers > blocks {
-		workers = blocks
+	if workers > units {
+		workers = units
 	}
 	if workers == 1 {
-		return evalBlocks(e.evals[0], pp, 0, blocks, powers)
+		return evalUnits(e.evals[0], pp, 0, units, powers)
 	}
-	chunk := (blocks + workers - 1) / workers
+	chunk := (units + workers - 1) / workers
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > blocks {
-			hi = blocks
+		if hi > units {
+			hi = units
 		}
 		if lo >= hi {
 			break
@@ -122,13 +128,34 @@ func (e *evalEngine) evaluatePacked(pp *sim.PackedPairs, powers []float64) error
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = evalBlocks(e.evals[w], pp, lo, hi, powers)
+			errs[w] = evalUnits(e.evals[w], pp, lo, hi, powers)
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// evalUnits evaluates work units [lo, hi) of pp into their power slots
+// through one worker's evaluator — compiled stripes when the evaluator
+// has kernels enabled, single 64-lane blocks otherwise.
+func evalUnits(ev *power.Evaluator, pp *sim.PackedPairs, lo, hi int, powers []float64) error {
+	if !ev.KernelsEnabled() {
+		return evalBlocks(ev, pp, lo, hi, powers)
+	}
+	sl := ev.StripeWords() * 64
+	for s := lo; s < hi; s++ {
+		b0 := s * sl
+		end := b0 + sl
+		if end > pp.N {
+			end = pp.N
+		}
+		if err := ev.PackedStripeMW(pp, s, powers[b0:end]); err != nil {
+			return fmt.Errorf("vectorgen: compiled stripe evaluation: %w", err)
 		}
 	}
 	return nil

@@ -8,7 +8,6 @@ import (
 	"repro/internal/evt"
 	"repro/internal/fleet"
 	"repro/internal/netlist"
-	"repro/internal/power"
 	"repro/internal/vectorgen"
 )
 
@@ -170,7 +169,7 @@ func RunShardStreaming(ctx context.Context, c *netlist.Circuit, spec PopulationS
 	if err != nil {
 		return nil, err
 	}
-	src, err := vectorgen.NewStreamSource(power.NewEvaluator(c, model, spec.Power), gen)
+	src, err := vectorgen.NewStreamSource(kernelEvaluator(c, model, spec.Power, opt.Kernels), gen)
 	if err != nil {
 		return nil, err
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/evt"
 	"repro/internal/netlist"
 	"repro/internal/power"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vectorgen"
 )
@@ -138,9 +139,38 @@ func (spec PopulationSpec) Validate() error {
 	return nil
 }
 
+// KernelCache deduplicates compiled simulation kernels (sim.Program) by
+// circuit + delay model, so repeated runs — and concurrent runs sharing
+// one cache — pay the netlist compile once. See sim.ProgramCache.
+type KernelCache = sim.ProgramCache
+
+// NewKernelCache builds a kernel cache bounded to capacity compiled
+// programs (LRU beyond that).
+func NewKernelCache(capacity int) *KernelCache { return sim.NewProgramCache(capacity) }
+
+// kernelEvaluator builds the circuit's power evaluator with the compiled
+// multi-word striped engine enabled, deduplicating the compile through
+// kc when non-nil (nil compiles privately). The cache key is circuit
+// name + delay model — delay assignments are deterministic per model, so
+// the pair pins the program; the fingerprint check inside the cache
+// turns any key collision into a recompile, never a wrong simulation.
+func kernelEvaluator(c *netlist.Circuit, model delay.Model, p power.Params, kc *KernelCache) *power.Evaluator {
+	ev := power.NewEvaluator(c, model, p)
+	ev.UseKernels(kc, c.Name+"/"+model.Name())
+	return ev
+}
+
 // BuildPopulation simulates a finite population of vector pairs on the
 // circuit and returns it ready for estimation.
 func BuildPopulation(c *netlist.Circuit, spec PopulationSpec) (*Population, error) {
+	return BuildPopulationKernels(c, spec, nil)
+}
+
+// BuildPopulationKernels is BuildPopulation with the compiled-kernel
+// cache shared: the service passes its process-wide cache here so
+// population builds reuse (and warm) the same programs as streaming
+// jobs and fleet shards.
+func BuildPopulationKernels(c *netlist.Circuit, spec PopulationSpec, kernels *KernelCache) (*Population, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -158,7 +188,7 @@ func BuildPopulation(c *netlist.Circuit, spec PopulationSpec) (*Population, erro
 	if err != nil {
 		return nil, err
 	}
-	eval := power.NewEvaluator(c, model, spec.Power)
+	eval := kernelEvaluator(c, model, spec.Power, kernels)
 	return vectorgen.Build(eval, gen, vectorgen.Options{
 		Size:      spec.Size,
 		Seed:      spec.Seed,
@@ -238,6 +268,14 @@ type EstimateOptions struct {
 	// observability hook services use to count silent degradation.
 	// Ignored by Estimate, which never batches.
 	OnBatchFallback func(count int64, err error)
+	// Kernels, when non-nil, deduplicates compiled simulation kernels
+	// across runs: streaming estimation (and streaming shard workers)
+	// compile each (circuit, delay model) into a flat striped program
+	// either way, but a shared cache makes repeat runs skip the compile.
+	// Results are unaffected — the compiled engine is bit-identical to
+	// the scalar oracle. Ignored by Estimate, whose population is already
+	// simulated.
+	Kernels *KernelCache
 }
 
 // ProgressSnapshot is the running state of an estimation after a
@@ -350,7 +388,7 @@ func EstimateStreamingContext(ctx context.Context, c *netlist.Circuit, spec Popu
 	if err != nil {
 		return Result{}, err
 	}
-	src, err := vectorgen.NewStreamSource(power.NewEvaluator(c, model, spec.Power), gen)
+	src, err := vectorgen.NewStreamSource(kernelEvaluator(c, model, spec.Power, opt.Kernels), gen)
 	if err != nil {
 		return Result{}, err
 	}
