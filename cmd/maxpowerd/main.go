@@ -16,7 +16,21 @@
 // worker daemons (their /v1/shards API), retried around failed or dead
 // workers, and merged into a result bit-identical to a single-node run
 // with the same shard plan. Every daemon serves /v1/shards, so any
-// instance can be a worker.
+// instance can be a worker. Shard retries space out with capped
+// jittered exponential backoff (-retry-backoff/-retry-backoff-max),
+// and per-worker circuit breakers (-breaker-failures/-breaker-cooldown)
+// plus periodic health probes (-health-interval) evict dead workers
+// from rotation until they recover.
+//
+// With -tenants-file the daemon is multi-tenant: the file is a JSON
+// array of tenants ({"name","key","weight","submit_rate","submit_burst",
+// "units_rate","units_burst","queue_depth"}), job routes require the
+// tenant's API key (Authorization: Bearer or X-API-Key), submissions
+// are rate-limited and quota'd per tenant (429 + Retry-After), and the
+// worker pool is shared by weighted-fair scheduling with priority
+// classes (options.priority: batch/normal/interactive) — one tenant's
+// backlog cannot starve another's jobs. Without the flag the daemon
+// runs exactly as before: anonymous, unauthenticated, FIFO-fair.
 //
 // Usage:
 //
@@ -26,6 +40,10 @@
 //	          [-pprof-addr 127.0.0.1:8322]
 //	          [-coordinator http://w1:8321,http://w2:8321]
 //	          [-shard-size 8] [-shard-timeout 0]
+//	          [-retry-backoff 25ms] [-retry-backoff-max 2s]
+//	          [-breaker-failures 3] [-breaker-cooldown 5s]
+//	          [-health-interval 5s]
+//	          [-tenants-file tenants.json] [-tenant-queue 0]
 //
 // -pprof-addr starts a SECOND listener serving net/http/pprof (CPU and
 // heap profiles, goroutine dumps). It is off by default and never shares
@@ -46,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/service"
 )
 
@@ -65,6 +84,13 @@ func main() {
 		coord      = flag.String("coordinator", "", "comma-separated worker base URLs; when set, jobs are sharded across this fleet instead of running locally")
 		shardSize  = flag.Int("shard-size", 0, "hyper-samples per fleet shard in coordinator mode (0 = default 8)")
 		shardTO    = flag.Duration("shard-timeout", 0, "per-attempt wall-time cap for a dispatched shard; exceeded shards retry on another worker (0 = unlimited)")
+		retryBase  = flag.Duration("retry-backoff", 0, "base delay for jittered exponential shard-retry backoff (0 = default 25ms, negative = disabled)")
+		retryMax   = flag.Duration("retry-backoff-max", 0, "cap on the shard-retry backoff (0 = default 2s)")
+		brkFails   = flag.Int("breaker-failures", 0, "consecutive failures that evict a fleet worker from rotation (0 = default 3)")
+		brkCool    = flag.Duration("breaker-cooldown", 0, "how long an evicted fleet worker waits before a half-open probe (0 = default 5s)")
+		healthIntv = flag.Duration("health-interval", 0, "fleet worker health-probe period in coordinator mode (0 = default 5s, negative = disabled)")
+		tenantFile = flag.String("tenants-file", "", "JSON array of tenants; enables API-key auth, per-tenant rate limits, and weighted-fair scheduling (empty = anonymous single-tenant mode)")
+		tenantQ    = flag.Int("tenant-queue", 0, "per-tenant queued-job bound (0 = only the global -queue bound)")
 	)
 	flag.Parse()
 
@@ -80,18 +106,37 @@ func main() {
 		}
 	}
 
+	var tenants []service.TenantConfig
+	if *tenantFile != "" {
+		var err error
+		if tenants, err = service.LoadTenantsFile(*tenantFile); err != nil {
+			log.Fatalf("%v", err)
+		}
+	}
+
+	backoff := fleet.Backoff{Base: *retryBase, Max: *retryMax}
+	if *retryBase < 0 {
+		backoff = fleet.Backoff{Disabled: true}
+	}
+
 	mgr, err := service.NewManager(service.ManagerConfig{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
-		SimWorkers:     *simWorkers,
-		DataDir:        *dataDir,
-		MaxJobDuration: *maxJobDur,
-		RetainJobs:     *retainJobs,
-		RetainFor:      *retainTTL,
-		FleetWorkers:   fleetWorkers,
-		ShardSize:      *shardSize,
-		ShardTimeout:   *shardTO,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cacheSize,
+		SimWorkers:       *simWorkers,
+		DataDir:          *dataDir,
+		MaxJobDuration:   *maxJobDur,
+		RetainJobs:       *retainJobs,
+		RetainFor:        *retainTTL,
+		FleetWorkers:     fleetWorkers,
+		ShardSize:        *shardSize,
+		ShardTimeout:     *shardTO,
+		RetryBackoff:     backoff,
+		BreakerThreshold: *brkFails,
+		BreakerCooldown:  *brkCool,
+		HealthInterval:   *healthIntv,
+		Tenants:          tenants,
+		TenantQueueDepth: *tenantQ,
 	})
 	if err != nil {
 		log.Fatalf("manager: %v", err)
@@ -148,6 +193,9 @@ func main() {
 	}
 	if len(fleetWorkers) > 0 {
 		log.Printf("coordinating a fleet of %d workers: %s", len(fleetWorkers), strings.Join(fleetWorkers, ", "))
+	}
+	if len(tenants) > 0 {
+		log.Printf("multi-tenant mode: %d tenants from %s", len(tenants), *tenantFile)
 	}
 
 	select {

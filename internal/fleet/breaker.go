@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's phase.
+type BreakerState string
+
+// Breaker lifecycle: closed (healthy) → open (evicted) after Threshold
+// consecutive failures → half-open (one probe allowed) after Cooldown →
+// closed on probe success, back to open on probe failure.
+const (
+	BreakerClosed   BreakerState = "closed"
+	BreakerOpen     BreakerState = "open"
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// Breaker is a per-worker circuit breaker. A worker that fails
+// Threshold consecutive attempts is evicted from rotation (open); after
+// Cooldown one probe attempt is let through (half-open), and its
+// outcome decides between re-admission and another cooldown. All
+// methods take the caller's clock, so tests run against a fake clock
+// with no wall-time sleeps.
+//
+// The breaker deliberately separates probe failures from bystander
+// failures: when every worker is open the coordinator still has to try
+// someone, and those desperation attempts must not keep pushing the
+// half-open horizon forward — only an admitted probe re-arms the
+// cooldown. Success from any source (a dispatch or a health check)
+// closes the breaker immediately: a recovered worker should not wait
+// out a stale cooldown.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (0 = 3).
+	Threshold int
+	// Cooldown is the open → half-open delay (0 = 5 s).
+	Cooldown time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState // "" means closed
+	failures int          // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 3
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 5 * time.Second
+}
+
+// Allow reports whether an attempt may be sent to this worker now.
+// When the cooldown of an open breaker has elapsed, Allow admits
+// exactly one caller as the half-open probe; everyone else keeps
+// getting false until that probe reports Success or Failure.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown() {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// Success records a successful attempt (or health check): the breaker
+// closes from any state and the failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure records a failed attempt. It returns true when this failure
+// tripped the breaker open — the caller's seam for eviction counters.
+// Failures reported while the breaker is already open (a desperation
+// attempt when every worker is evicted) do not refresh the cooldown.
+func (b *Breaker) Failure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		return false
+	case BreakerHalfOpen:
+		// The probe failed: back to a full cooldown.
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.probing = false
+		return true
+	default:
+		b.failures++
+		if b.failures < b.threshold() {
+			return false
+		}
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.failures = 0
+		return true
+	}
+}
+
+// State reports the breaker's phase at the given instant (an open
+// breaker whose cooldown has elapsed reads as half-open).
+func (b *Breaker) State(now time.Time) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown() {
+			return BreakerHalfOpen
+		}
+		return BreakerOpen
+	case BreakerHalfOpen:
+		return BreakerHalfOpen
+	default:
+		return BreakerClosed
+	}
+}

@@ -1,0 +1,146 @@
+package fleet_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// All breaker tests drive the state machine with an explicit fake
+// clock — no wall-clock sleeps anywhere.
+
+// TestBreakerLifecycle walks closed → open → half-open → open (probe
+// failed) → half-open → closed (probe succeeded).
+func TestBreakerLifecycle(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := &fleet.Breaker{Threshold: 3, Cooldown: time.Minute}
+
+	// Closed: admits everything, failures below threshold don't trip.
+	for i := 0; i < 2; i++ {
+		if !b.Allow(t0) {
+			t.Fatalf("closed breaker denied attempt %d", i)
+		}
+		if b.Failure(t0) {
+			t.Fatalf("failure %d tripped below threshold", i+1)
+		}
+	}
+	if !b.Failure(t0) {
+		t.Fatal("threshold-th failure did not trip the breaker")
+	}
+	if got := b.State(t0); got != fleet.BreakerOpen {
+		t.Fatalf("state after trip = %s, want open", got)
+	}
+
+	// Open: denies until the cooldown elapses.
+	if b.Allow(t0.Add(59 * time.Second)) {
+		t.Fatal("open breaker admitted before cooldown elapsed")
+	}
+
+	// Half-open: exactly one probe is admitted.
+	t1 := t0.Add(time.Minute)
+	if !b.Allow(t1) {
+		t.Fatal("breaker denied the half-open probe after cooldown")
+	}
+	if b.Allow(t1) {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+
+	// Probe fails: back to open with a fresh cooldown.
+	if !b.Failure(t1) {
+		t.Fatal("failed probe did not count as a trip")
+	}
+	if b.Allow(t1.Add(30 * time.Second)) {
+		t.Fatal("breaker admitted during the re-armed cooldown")
+	}
+
+	// Next probe succeeds: closed again, streak reset.
+	t2 := t1.Add(time.Minute)
+	if !b.Allow(t2) {
+		t.Fatal("breaker denied the second probe")
+	}
+	b.Success()
+	if got := b.State(t2); got != fleet.BreakerClosed {
+		t.Fatalf("state after probe success = %s, want closed", got)
+	}
+	// A fresh failure streak is needed to trip again.
+	if b.Failure(t2) || b.Failure(t2) {
+		t.Fatal("breaker tripped before a fresh threshold of failures")
+	}
+	if !b.Failure(t2) {
+		t.Fatal("breaker did not trip at the fresh threshold")
+	}
+}
+
+// TestBreakerSuccessResetsStreak: an interleaved success clears the
+// consecutive-failure count.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &fleet.Breaker{Threshold: 2, Cooldown: time.Minute}
+	b.Failure(now)
+	b.Success()
+	if b.Failure(now) {
+		t.Fatal("tripped on the first failure after a success")
+	}
+	if !b.Failure(now) {
+		t.Fatal("did not trip on the second consecutive failure")
+	}
+}
+
+// TestBreakerOpenFailuresDontExtendCooldown: failures reported while
+// the breaker is open (desperation attempts when every worker is
+// evicted) must not push out the half-open horizon.
+func TestBreakerOpenFailuresDontExtendCooldown(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	b := &fleet.Breaker{Threshold: 1, Cooldown: time.Minute}
+	if !b.Failure(t0) {
+		t.Fatal("first failure should trip with threshold 1")
+	}
+	// A bystander failure halfway through the cooldown...
+	if b.Failure(t0.Add(30 * time.Second)) {
+		t.Fatal("failure while open must not count as a new trip")
+	}
+	// ...does not delay the original half-open horizon.
+	if !b.Allow(t0.Add(time.Minute)) {
+		t.Fatal("cooldown was extended by a failure reported while open")
+	}
+}
+
+// TestBreakerSuccessClosesFromOpen: a success from any source (e.g. a
+// health probe) re-admits the worker immediately — no cooldown wait.
+func TestBreakerSuccessClosesFromOpen(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	b := &fleet.Breaker{Threshold: 1, Cooldown: time.Hour}
+	b.Failure(t0)
+	if b.Allow(t0.Add(time.Second)) {
+		t.Fatal("breaker should be open")
+	}
+	b.Success()
+	if got := b.State(t0.Add(time.Second)); got != fleet.BreakerClosed {
+		t.Fatalf("state after success = %s, want closed", got)
+	}
+	if !b.Allow(t0.Add(time.Second)) {
+		t.Fatal("closed breaker denied an attempt")
+	}
+}
+
+// TestBreakerDefaults: the zero value trips after 3 failures and
+// half-opens after 5 s.
+func TestBreakerDefaults(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	b := &fleet.Breaker{}
+	b.Failure(t0)
+	b.Failure(t0)
+	if got := b.State(t0); got != fleet.BreakerClosed {
+		t.Fatalf("state after 2 failures = %s, want closed", got)
+	}
+	if !b.Failure(t0) {
+		t.Fatal("3rd failure did not trip the default breaker")
+	}
+	if b.Allow(t0.Add(4 * time.Second)) {
+		t.Fatal("admitted before the default 5s cooldown")
+	}
+	if !b.Allow(t0.Add(5 * time.Second)) {
+		t.Fatal("denied after the default 5s cooldown")
+	}
+}

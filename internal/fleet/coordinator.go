@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,11 +17,12 @@ import (
 )
 
 // Coordinator fans one job's shards out to worker daemons and merges
-// their records into the job Result. It is stateless across jobs (safe
-// for concurrent Run calls) and deliberately trusts nothing about
-// worker scheduling: any worker may run any shard, in any order, and
-// crashed or unreachable workers just cost a retry — the merged result
-// is a pure function of the plan.
+// their records into the job Result. It carries no per-job state (safe
+// for concurrent Run calls; only worker-health bookkeeping — the
+// per-worker circuit breakers — persists across jobs) and deliberately
+// trusts nothing about worker scheduling: any worker may run any
+// shard, in any order, and crashed or unreachable workers just cost a
+// retry — the merged result is a pure function of the plan.
 type Coordinator struct {
 	// Workers are the base URLs of registered worker daemons
 	// (e.g. "http://10.0.0.7:8321"). Shard i is first offered to worker
@@ -38,10 +40,32 @@ type Coordinator struct {
 	// that exceeds it is cancelled on that worker and retried on the
 	// next (0 = no per-attempt cap).
 	ShardTimeout time.Duration
+	// RetryBackoff spaces retry attempts with capped jittered
+	// exponential delays. The zero value is the default policy (on);
+	// set Disabled for the immediate-rotation behavior.
+	RetryBackoff Backoff
+	// BreakerThreshold and BreakerCooldown configure the per-worker
+	// circuit breakers: a worker failing Threshold consecutive attempts
+	// (dispatches or health probes) is evicted from rotation until a
+	// half-open probe after Cooldown succeeds. Zero values take the
+	// Breaker defaults (3 failures, 5 s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Sleep is the waiting seam for retry backoff (nil = a real timer
+	// honoring ctx). Tests inject a fake so backoff runs clock-free.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Now is the clock seam for breakers (nil = time.Now), so breaker
+	// tests advance a fake clock instead of sleeping.
+	Now func() time.Time
 
 	dispatched     atomic.Int64
 	retried        atomic.Int64
 	earlyCancelled atomic.Int64
+	backoffNS      atomic.Int64
+	breakerTrips   atomic.Int64
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
 }
 
 // Stats is a point-in-time snapshot of the coordinator's counters.
@@ -54,14 +78,119 @@ type Stats struct {
 	// ShardsCancelled counts outstanding shards cancelled by
 	// convergence-driven early stop.
 	ShardsCancelled int64
+	// BackoffNS accumulates the retry backoff waited before
+	// re-dispatches, in nanoseconds.
+	BackoffNS int64
+	// BreakerTrips counts worker evictions: breaker transitions to
+	// open, from dispatch failures, failed half-open probes, or failed
+	// health checks.
+	BreakerTrips int64
+	// WorkersOpen is the current number of evicted (open-breaker)
+	// workers — a gauge, not a counter.
+	WorkersOpen int64
 }
 
 // Stats returns the coordinator's cumulative counters.
 func (c *Coordinator) Stats() Stats {
-	return Stats{
+	st := Stats{
 		ShardsDispatched: c.dispatched.Load(),
 		ShardsRetried:    c.retried.Load(),
 		ShardsCancelled:  c.earlyCancelled.Load(),
+		BackoffNS:        c.backoffNS.Load(),
+		BreakerTrips:     c.breakerTrips.Load(),
+	}
+	now := c.now()
+	c.mu.Lock()
+	for _, b := range c.breakers {
+		if b.State(now) == BreakerOpen {
+			st.WorkersOpen++
+		}
+	}
+	c.mu.Unlock()
+	return st
+}
+
+func (c *Coordinator) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+func (c *Coordinator) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// breakerFor returns (lazily creating) the named worker's breaker.
+func (c *Coordinator) breakerFor(worker string) *Breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.breakers == nil {
+		c.breakers = make(map[string]*Breaker)
+	}
+	b, ok := c.breakers[worker]
+	if !ok {
+		b = &Breaker{Threshold: c.BreakerThreshold, Cooldown: c.BreakerCooldown}
+		c.breakers[worker] = b
+	}
+	return b
+}
+
+// pickWorker chooses the attempt's worker: the first candidate in
+// rotation order (from shard index + attempt) whose breaker admits it.
+// When every worker is evicted the rotation choice is used anyway — a
+// coordinator with no healthy workers must still probe reality rather
+// than deadlock — and the breaker ignores failures it didn't admit, so
+// desperation attempts never push the half-open horizon out.
+func (c *Coordinator) pickWorker(index, attempt int) string {
+	n := len(c.Workers)
+	now := c.now()
+	for i := 0; i < n; i++ {
+		w := c.Workers[(index+attempt+i)%n]
+		if c.breakerFor(w).Allow(now) {
+			return w
+		}
+	}
+	return c.Workers[(index+attempt)%n]
+}
+
+// ProbeWorkers health-checks every registered worker once (GET
+// /healthz) and feeds the outcomes to the per-worker breakers: a
+// healthy response closes the worker's breaker immediately (re-
+// admission), a failure counts toward eviction exactly like a failed
+// dispatch. Coordinating managers call this on a timer, so dead workers
+// are evicted between jobs too — not only after burning dispatch
+// attempts on them — and recovered workers rejoin without waiting for a
+// shard to probe them.
+func (c *Coordinator) ProbeWorkers(ctx context.Context) {
+	now := c.now()
+	for _, w := range c.Workers {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w+"/healthz", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := c.client().Do(req)
+		healthy := err == nil && resp.StatusCode/100 == 2
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		b := c.breakerFor(w)
+		if healthy {
+			b.Success()
+		} else if b.Failure(now) {
+			c.breakerTrips.Add(1)
+		}
 	}
 }
 
@@ -197,10 +326,13 @@ func progressOf(res evt.Result) evt.Progress {
 
 // runShard drives one shard to completion: dispatch to a worker, poll,
 // and on any failure — dispatch error, worker unreachable while
-// polling, shard reported failed, attempt timeout — rotate to the next
-// worker and try again, up to MaxAttempts. Safe because shards are
-// idempotent: the records are a pure function of the plan, and workers
-// deduplicate by shard ID.
+// polling, shard reported failed, attempt timeout — back off and try
+// the next breaker-admitted worker, up to MaxAttempts. Safe because
+// shards are idempotent: the records are a pure function of the plan,
+// and workers deduplicate by shard ID. Every attempt's outcome feeds
+// the target worker's breaker, so a dead worker stops receiving
+// attempts after BreakerThreshold failures instead of burning one
+// attempt per shard forever.
 func (c *Coordinator) runShard(ctx context.Context, jobID string, job json.RawMessage, sh Shard) ([]evt.HyperRecord, error) {
 	req := ShardRequest{ID: shardID(jobID, sh.Index), Job: job, Shard: sh}
 	attempts := c.maxAttempts()
@@ -211,20 +343,27 @@ func (c *Coordinator) runShard(ctx context.Context, jobID string, job json.RawMe
 		}
 		if a > 0 {
 			c.retried.Add(1)
-			// Brief backoff so a queue-full worker gets room to drain.
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(time.Duration(a) * 25 * time.Millisecond):
+			// Capped jittered exponential backoff: a failed or queue-full
+			// worker gets room to drain, and concurrent retries spread out
+			// instead of stampeding the next worker in rotation.
+			if d := c.RetryBackoff.Delay(a); d > 0 {
+				c.backoffNS.Add(int64(d))
+				if err := c.sleep(ctx, d); err != nil {
+					return nil, err
+				}
 			}
 		}
-		worker := c.Workers[(sh.Index+a)%len(c.Workers)]
+		worker := c.pickWorker(sh.Index, a)
 		recs, err := c.runShardOn(ctx, worker, req, sh)
 		if err == nil {
+			c.breakerFor(worker).Success()
 			return recs, nil
 		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
+		}
+		if c.breakerFor(worker).Failure(c.now()) {
+			c.breakerTrips.Add(1)
 		}
 		lastErr = err
 	}

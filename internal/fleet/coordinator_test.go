@@ -32,8 +32,10 @@ type fakeWorker struct {
 	shards map[string]*fakeShard
 	srv    *httptest.Server
 
-	hypers   atomic.Int64 // hyper-samples executed across all shards
-	dieAfter int64        // kill the whole worker after this many (0 = never)
+	hypers    atomic.Int64 // hyper-samples executed across all shards
+	dieAfter  int64        // kill the whole worker after this many (0 = never)
+	submits   atomic.Int64 // shard submissions received
+	unhealthy atomic.Bool  // /healthz reports 500 while set
 }
 
 type fakeShard struct {
@@ -51,6 +53,13 @@ func newFakeWorker(t *testing.T, pop *vectorgen.Population, cfg evt.Config) *fak
 	mux.HandleFunc("POST /v1/shards", w.handleSubmit)
 	mux.HandleFunc("GET /v1/shards/{id}", w.handleStatus)
 	mux.HandleFunc("DELETE /v1/shards/{id}", w.handleCancel)
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		if w.unhealthy.Load() {
+			http.Error(rw, "unhealthy", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
+	})
 	w.srv = httptest.NewServer(mux)
 	t.Cleanup(w.close)
 	return w
@@ -73,6 +82,7 @@ func (w *fakeWorker) close() {
 }
 
 func (w *fakeWorker) handleSubmit(rw http.ResponseWriter, r *http.Request) {
+	w.submits.Add(1)
 	var req fleet.ShardRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
@@ -164,7 +174,11 @@ func (w *fakeWorker) startLocked(fs *fakeShard) {
 		}
 		recs, err := fleet.RunShard(ctx, est, fs.req.Shard, nil, func(done int, _ evt.HyperRecord) bool {
 			if w.perHyper > 0 {
-				time.Sleep(w.perHyper)
+				// Stagger by shard index so tail shards are strictly
+				// slower than the converging prefix — otherwise all
+				// shards finish near-simultaneously and early-stop
+				// cancellation races the final merges.
+				time.Sleep(w.perHyper * time.Duration(1+fs.req.Shard.Index))
 			}
 			if w.dieAfter > 0 && w.hypers.Add(1) == w.dieAfter {
 				go w.close()

@@ -1,0 +1,205 @@
+package fleet_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// Coordinator-level resilience tests: retry backoff, circuit-breaker
+// eviction, and health-probe-driven eviction/re-admission. All clock
+// and sleep use goes through the Coordinator's seams, so nothing here
+// waits on a wall clock.
+
+// brokenWorker is an HTTP server that fails every shard request,
+// counting submissions — a worker that is up but useless. (Best-effort
+// cancel DELETEs are broadcast to every worker by design, so only
+// submits measure rotation membership.)
+type brokenWorker struct {
+	srv  *httptest.Server
+	hits atomic.Int64
+}
+
+func newBrokenWorker(t *testing.T) *brokenWorker {
+	w := &brokenWorker{}
+	w.srv = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			w.hits.Add(1)
+		}
+		http.Error(rw, "broken", http.StatusInternalServerError)
+	}))
+	t.Cleanup(w.srv.Close)
+	return w
+}
+
+// TestCoordinatorRetryBackoff: retries wait the configured jittered
+// exponential delays through the Sleep seam, the waits are accounted in
+// Stats().BackoffNS, and the merged result stays bit-identical.
+func TestCoordinatorRetryBackoff(t *testing.T) {
+	pop, cfg, plan := fleetFixture()
+	want := referenceRun(t, pop, cfg, plan)
+
+	flaky := newFakeWorker(t, pop, cfg)
+	flaky.failRuns = 3
+	healthy := newFakeWorker(t, pop, cfg)
+
+	var mu sync.Mutex
+	var slept []time.Duration
+	c := &fleet.Coordinator{
+		Workers:      []string{flaky.url(), healthy.url()},
+		PollInterval: 2 * time.Millisecond,
+		RetryBackoff: fleet.Backoff{
+			Base:   40 * time.Millisecond,
+			Max:    320 * time.Millisecond,
+			Jitter: func() float64 { return 0 }, // deterministic: delay = d/2
+		},
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+			return nil
+		},
+	}
+	got := runCoordinator(t, c, cfg, plan)
+	if statFields(got) != statFields(want) {
+		t.Errorf("result diverged under retry backoff:\n got  %+v\n want %+v",
+			statFields(got), statFields(want))
+	}
+
+	st := c.Stats()
+	if st.ShardsRetried == 0 {
+		t.Fatal("fixture produced no retries")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if int64(len(slept)) != st.ShardsRetried {
+		t.Errorf("slept %d times, want one backoff per retry (%d)", len(slept), st.ShardsRetried)
+	}
+	allowed := map[time.Duration]bool{
+		20 * time.Millisecond:  true, // attempt 1: 40ms/2
+		40 * time.Millisecond:  true, // attempt 2: 80ms/2
+		80 * time.Millisecond:  true, // attempt 3: 160ms/2
+		160 * time.Millisecond: true, // attempt 4+: capped 320ms/2
+	}
+	var total time.Duration
+	for _, d := range slept {
+		if !allowed[d] {
+			t.Errorf("unexpected backoff delay %s (want a d/2 rung of the 40ms..320ms ladder)", d)
+		}
+		total += d
+	}
+	if int64(total) != st.BackoffNS {
+		t.Errorf("BackoffNS = %d, want %d (sum of slept delays)", st.BackoffNS, int64(total))
+	}
+}
+
+// TestCoordinatorBreakerEvictsBrokenWorker: after BreakerThreshold
+// consecutive failures a worker is out of rotation — a second job on
+// the same coordinator sends it zero requests — and results stay
+// bit-identical throughout.
+func TestCoordinatorBreakerEvictsBrokenWorker(t *testing.T) {
+	pop, cfg, plan := fleetFixture()
+	want := referenceRun(t, pop, cfg, plan)
+
+	broken := newBrokenWorker(t)
+	healthy := newFakeWorker(t, pop, cfg)
+	c := &fleet.Coordinator{
+		Workers:          []string{broken.srv.URL, healthy.url()},
+		PollInterval:     2 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour, // no half-open probe within this test
+		RetryBackoff:     fleet.Backoff{Disabled: true},
+	}
+
+	got := runCoordinator(t, c, cfg, plan)
+	if statFields(got) != statFields(want) {
+		t.Errorf("result diverged with a broken worker:\n got  %+v\n want %+v",
+			statFields(got), statFields(want))
+	}
+	st := c.Stats()
+	if st.BreakerTrips == 0 {
+		t.Fatal("broken worker never tripped its breaker")
+	}
+	if st.WorkersOpen != 1 {
+		t.Fatalf("WorkersOpen = %d, want 1", st.WorkersOpen)
+	}
+
+	// Second job on the same coordinator: the open breaker keeps the
+	// broken worker out of rotation entirely.
+	before := broken.hits.Load()
+	got = runCoordinator(t, c, cfg, plan)
+	if statFields(got) != statFields(want) {
+		t.Errorf("second run diverged:\n got  %+v\n want %+v",
+			statFields(got), statFields(want))
+	}
+	if after := broken.hits.Load(); after != before {
+		t.Errorf("evicted worker still received %d requests", after-before)
+	}
+}
+
+// TestCoordinatorHealthProbeEvictsAndReadmits: ProbeWorkers feeds
+// /healthz outcomes into the breakers — an unhealthy worker is evicted
+// without burning dispatch attempts, and a recovered worker rejoins on
+// the next probe without waiting out the cooldown.
+func TestCoordinatorHealthProbeEvictsAndReadmits(t *testing.T) {
+	pop, cfg, plan := fleetFixture()
+	want := referenceRun(t, pop, cfg, plan)
+
+	sick := newFakeWorker(t, pop, cfg)
+	sick.unhealthy.Store(true)
+	healthy := newFakeWorker(t, pop, cfg)
+
+	clock := time.Unix(1000, 0)
+	c := &fleet.Coordinator{
+		Workers:          []string{sick.url(), healthy.url()},
+		PollInterval:     2 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+		RetryBackoff:     fleet.Backoff{Disabled: true},
+		Now:              func() time.Time { return clock },
+	}
+
+	ctx := context.Background()
+	c.ProbeWorkers(ctx)
+	c.ProbeWorkers(ctx)
+	st := c.Stats()
+	if st.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips after 2 failed probes = %d, want 1", st.BreakerTrips)
+	}
+	if st.WorkersOpen != 1 {
+		t.Fatalf("WorkersOpen = %d, want 1", st.WorkersOpen)
+	}
+
+	// A job now runs entirely on the healthy worker: zero submits to the
+	// evicted one, result bit-identical.
+	got := runCoordinator(t, c, cfg, plan)
+	if statFields(got) != statFields(want) {
+		t.Errorf("result diverged with an evicted worker:\n got  %+v\n want %+v",
+			statFields(got), statFields(want))
+	}
+	if n := sick.submits.Load(); n != 0 {
+		t.Errorf("evicted worker received %d shard submits, want 0", n)
+	}
+
+	// Recovery: one healthy probe closes the breaker immediately — the
+	// hour-long cooldown is irrelevant (the fake clock never advanced).
+	sick.unhealthy.Store(false)
+	c.ProbeWorkers(ctx)
+	if st := c.Stats(); st.WorkersOpen != 0 {
+		t.Fatalf("WorkersOpen after recovery probe = %d, want 0", st.WorkersOpen)
+	}
+	got = runCoordinator(t, c, cfg, plan)
+	if statFields(got) != statFields(want) {
+		t.Errorf("result diverged after re-admission:\n got  %+v\n want %+v",
+			statFields(got), statFields(want))
+	}
+	if n := sick.submits.Load(); n == 0 {
+		t.Error("re-admitted worker received no shard submits")
+	}
+}

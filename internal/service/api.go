@@ -67,6 +67,11 @@ type EstimateOptions struct {
 	// job that hits its deadline stops at the next hyper-sample boundary
 	// and keeps its partial (checkpointed) estimate as a cancelled job.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Priority is the job's scheduling class: "batch", "normal"
+	// (default), or "interactive". Higher classes dequeue first; under
+	// overload, arriving higher-class jobs may shed queued lower-class
+	// ones. Purely a scheduling knob — it never changes the estimate.
+	Priority string `json:"priority,omitempty"`
 }
 
 func (o EstimateOptions) toLib() maxpower.EstimateOptions {
@@ -112,6 +117,9 @@ func (r JobRequest) Validate(known func(string) bool) error {
 	if r.Options.TimeoutMS < 0 {
 		return fmt.Errorf("options.timeout_ms must be >= 0, got %d", r.Options.TimeoutMS)
 	}
+	if _, err := classOf(r.Options.Priority); err != nil {
+		return err
+	}
 	if err := r.Population.toLib(0).Validate(); err != nil {
 		return err
 	}
@@ -153,6 +161,8 @@ type JobStatus struct {
 	ID        string     `json:"id"`
 	State     JobState   `json:"state"`
 	Circuit   string     `json:"circuit"`
+	Tenant    string     `json:"tenant,omitempty"`
+	Priority  string     `json:"priority,omitempty"`
 	Streaming bool       `json:"streaming"`
 	CacheHit  bool       `json:"cache_hit"`
 	Created   time.Time  `json:"created"`
@@ -251,6 +261,24 @@ type Stats struct {
 	FleetShardsDispatched int64 `json:"fleet_shards_dispatched"`
 	FleetShardsRetried    int64 `json:"fleet_shards_retried"`
 	FleetShardsCancelled  int64 `json:"fleet_shards_cancelled"`
+	// Overload-resilience counters (PR 8). JobsQueued/JobsRunning are
+	// per-state gauges over the live job table; QueueDepthByFlow breaks
+	// the queued backlog down by tenant and priority class. LoadShed
+	// counts queued jobs displaced by higher-priority arrivals under
+	// overload; RateLimited and QuotaExceeded count refused submissions
+	// by cause (429s). The Fleet* trio surfaces the coordinator's
+	// resilience machinery: total backoff waited between shard retries,
+	// circuit-breaker trips (worker evictions), and currently-evicted
+	// workers (a gauge).
+	JobsQueued        int64                     `json:"jobs_queued"`
+	JobsRunning       int64                     `json:"jobs_running"`
+	QueueDepthByFlow  map[string]map[string]int `json:"queue_depth_by_tenant,omitempty"`
+	LoadShed          int64                     `json:"load_shed_total"`
+	RateLimited       int64                     `json:"rate_limited_total"`
+	QuotaExceeded     int64                     `json:"quota_exceeded_total"`
+	FleetBackoffNS    int64                     `json:"fleet_shard_backoff_ns"`
+	FleetBreakerTrips int64                     `json:"fleet_breaker_trips"`
+	FleetWorkersOpen  int64                     `json:"fleet_workers_open"`
 }
 
 // apiError is the structured error body: {"error":{"code":..,"message":..}}.

@@ -1,0 +1,270 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+// The fairness chaos suite is the PR-8 acceptance gate: a flooding
+// tenant cannot starve another tenant's jobs, overload sheds strictly
+// lower-priority work first, and a degraded restart re-admits
+// checkpointed work past every bound while refusing new submissions —
+// all while results stay bit-identical to unloaded runs. These tests
+// run under -race in CI (see the fairness-chaos step).
+
+// popRecorder attaches an ordering probe to the scheduler: every
+// dequeue is recorded under sched.mu, so the observed order IS the
+// scheduling order, with no re-sequencing race.
+func popRecorder(mgr *Manager) func() []string {
+	var mu sync.Mutex
+	var tenants []string
+	mgr.sched.mu.Lock()
+	mgr.sched.onPop = func(j *job) {
+		mu.Lock()
+		tenants = append(tenants, j.tenant)
+		mu.Unlock()
+	}
+	mgr.sched.mu.Unlock()
+	return func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), tenants...)
+	}
+}
+
+// TestFairnessFloodedTenantCannotStarve is the tentpole scenario: with
+// one worker parked inside a flooding tenant's job, the flooder queues
+// an 8-job backlog before a second tenant submits 2 jobs. The fair
+// scheduler must interleave — each of the second tenant's jobs waits
+// behind at most its share of flood jobs, never the whole backlog — and
+// a faultpoint-injected worker fault mid-drain must not disturb either
+// the ordering or the victims' bit-identical results.
+func TestFairnessFloodedTenantCannotStarve(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	interReq1, interReq2 := smallJob(301), smallJob(302)
+	baseline1 := runOnce(t, interReq1)
+	baseline2 := runOnce(t, interReq2)
+
+	tenants := []TenantConfig{
+		{Name: "flood", Key: "flood-key"},
+		{Name: "inter", Key: "inter-key"},
+	}
+	srv, mgr := newTestServer(t, ManagerConfig{Workers: 1, QueueDepth: 64, Tenants: tenants})
+	gate, release := gateFirstProgress(mgr)
+
+	plug := submitJobKey(t, srv, "flood-key", chaosJob())
+	<-gate // the single worker is parked inside the flooder's plug job
+
+	floodIDs := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		floodIDs = append(floodIDs, submitJobKey(t, srv, "flood-key", smallJob(uint64(310+i))))
+	}
+	interIDs := []string{
+		submitJobKey(t, srv, "inter-key", interReq1),
+		submitJobKey(t, srv, "inter-key", interReq2),
+	}
+
+	order := popRecorder(mgr)
+	// Chaos: the next job the worker picks up (a flood job — it queued
+	// first) hits a transient fault. Fairness and determinism must hold
+	// through the failure.
+	faultpoint.Arm("service/worker-run", 1, func() error { return errors.New("chaos: transient worker fault") })
+	close(release)
+
+	if st := waitTerminalKey(t, srv, "flood-key", plug); st.State != StateDone {
+		t.Fatalf("plug job = %s (%s), want done", st.State, st.Error)
+	}
+	for _, id := range interIDs {
+		if st := waitTerminalKey(t, srv, "inter-key", id); st.State != StateDone {
+			t.Fatalf("interleaved job %s = %s (%s), want done", id, st.State, st.Error)
+		}
+	}
+	faulted := 0
+	for _, id := range floodIDs {
+		st := waitTerminalKey(t, srv, "flood-key", id)
+		switch {
+		case st.State == StateFailed && strings.Contains(st.Error, "chaos"):
+			faulted++
+		case st.State != StateDone:
+			t.Fatalf("flood job %s = %s (%s), want done or the one injected failure", id, st.State, st.Error)
+		}
+	}
+	if faulted != 1 {
+		t.Errorf("injected faults observed = %d, want exactly 1", faulted)
+	}
+
+	// Bounded starvation: the recorded dequeue order must place inter's
+	// k-th job behind at most k+1 flood jobs (stride alternation between
+	// two equal-weight flows), never behind the 8-job backlog.
+	pops := order()
+	if len(pops) != 10 {
+		t.Fatalf("recorded %d pops, want 10", len(pops))
+	}
+	floodBefore, seen := make([]int, 0, 2), 0
+	for _, tenant := range pops {
+		if tenant == "flood" {
+			seen++
+			continue
+		}
+		floodBefore = append(floodBefore, seen)
+	}
+	if len(floodBefore) != 2 || floodBefore[0] > 2 || floodBefore[1] > 3 {
+		t.Errorf("inter jobs waited behind %v flood jobs (order %v), want ≤2 and ≤3", floodBefore, pops)
+	}
+
+	// Fairness is a scheduling property only: the interleaved tenant's
+	// results are bit-identical to unloaded single-tenant runs.
+	if got := kernel(fetchResultKey(t, srv, "inter-key", interIDs[0])); got != kernel(baseline1) {
+		t.Errorf("inter job 1 diverged under load:\n  loaded   %+v\n  baseline %+v", got, kernel(baseline1))
+	}
+	if got := kernel(fetchResultKey(t, srv, "inter-key", interIDs[1])); got != kernel(baseline2) {
+		t.Errorf("inter job 2 diverged under load:\n  loaded   %+v\n  baseline %+v", got, kernel(baseline2))
+	}
+}
+
+// TestLoadShedPriority drives the overload ladder over HTTP: with the
+// queue full of batch work, an interactive arrival is accepted by
+// displacing the most recent batch job; arrivals that outrank nothing
+// get the 503. Shed victims are terminal-cancelled with the shed cause
+// on record and counted in load_shed_total.
+func TestLoadShedPriority(t *testing.T) {
+	srv, mgr := newTestServer(t, ManagerConfig{Workers: 1, QueueDepth: 2})
+	gate, release := gateFirstProgress(mgr)
+
+	batchReq := func(seed uint64) JobRequest {
+		r := smallJob(seed)
+		r.Options.Priority = "batch"
+		return r
+	}
+	interReq := func(seed uint64) JobRequest {
+		r := smallJob(seed)
+		r.Options.Priority = "interactive"
+		return r
+	}
+
+	plug := submitJob(t, srv, smallJob(351))
+	<-gate // worker busy; the queue (depth 2) is empty
+	batch1 := submitJob(t, srv, batchReq(352))
+	batch2 := submitJob(t, srv, batchReq(353))
+
+	// Queue full of batch: another batch arrival outranks nothing → 503.
+	var apiErr apiError
+	code, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", batchReq(354), &apiErr)
+	if code != http.StatusServiceUnavailable || apiErr.Error.Code != "queue_full" {
+		t.Fatalf("batch-on-batch overflow = %d %q, body %s; want 503 queue_full", code, apiErr.Error.Code, body)
+	}
+
+	// An interactive arrival is accepted by shedding the most recently
+	// queued batch job.
+	inter1 := submitJob(t, srv, interReq(355))
+	st := jobStatus(t, srv, batch2)
+	if st.State != StateCancelled || !strings.Contains(st.Error, "load shed") {
+		t.Fatalf("shed victim = %s (%q), want cancelled with a load-shed error", st.State, st.Error)
+	}
+	if s := serviceStats(t, srv); s.LoadShed != 1 {
+		t.Errorf("load_shed_total = %d, want 1", s.LoadShed)
+	}
+
+	// Second interactive arrival sheds the remaining batch job…
+	inter2 := submitJob(t, srv, interReq(356))
+	if st := jobStatus(t, srv, batch1); st.State != StateCancelled {
+		t.Fatalf("second shed victim = %s, want cancelled", st.State)
+	}
+	// …after which nothing outranks interactive: the ladder ends in 503.
+	code, body = doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", interReq(357), &apiErr)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("interactive-on-interactive overflow = %d, body %s; want 503", code, body)
+	}
+
+	close(release)
+	for _, id := range []string{plug, inter1, inter2} {
+		if st := waitTerminal(t, srv, id); st.State != StateDone {
+			t.Errorf("job %s = %s (%s), want done", id, st.State, st.Error)
+		}
+	}
+	if s := serviceStats(t, srv); s.LoadShed != 2 || s.JobsCancelled != 2 {
+		t.Errorf("final counters load_shed=%d cancelled=%d, want 2/2", s.LoadShed, s.JobsCancelled)
+	}
+}
+
+// TestDegradedRestartAdmitsRecoveredPastBounds: a crash leaves four
+// admitted (journaled) jobs behind; the successor process restarts with
+// a smaller queue bound. Every recovered job must be re-admitted past
+// the bound — checkpointed work is never shed by a restart — while new
+// submissions are refused until the backlog drains, and the resumed job
+// still converges bit-identically.
+func TestDegradedRestartAdmitsRecoveredPastBounds(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	baseline := runOnce(t, chaosJob())
+
+	dir := t.TempDir()
+	mgr, err := NewManager(ManagerConfig{Workers: 1, QueueDepth: 8, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate, release := gateProgressAtK(mgr, 3)
+	plug, err := mgr.Submit(chaosJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate
+	queued := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		id, err := mgr.Submit(smallJob(uint64(371 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, id)
+	}
+	crash(t, mgr, release)
+
+	// Park the successor's single worker inside its first pop (the
+	// resumed plug) so the recovered backlog measurably exceeds the new
+	// bound; the faultpoint returns nil, so the job proceeds untouched.
+	hold := make(chan struct{})
+	faultpoint.Arm("service/worker-run", 1, func() error { <-hold; return nil })
+	mgr2, err := NewManager(ManagerConfig{Workers: 1, QueueDepth: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownManager(t, mgr2)
+	if got := mgr2.Stats().JobsRecovered; got != 4 {
+		t.Errorf("jobs recovered = %d, want 4 (all admitted past QueueDepth 2)", got)
+	}
+	// Degraded mode: the recovered backlog holds the queue over its
+	// bound, so new work is refused while resumes keep flowing.
+	if _, err := mgr2.Submit(smallJob(379)); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("submit while over-recovered = %v, want ErrQueueFull", err)
+	}
+	close(hold)
+
+	if st := waitManagerTerminal(t, mgr2, plug); st.State != StateDone {
+		t.Fatalf("resumed job = %s (%s), want done", st.State, st.Error)
+	}
+	for _, id := range queued {
+		if st := waitManagerTerminal(t, mgr2, id); st.State != StateDone {
+			t.Fatalf("recovered job %s = %s (%s), want done", id, st.State, st.Error)
+		}
+	}
+	res, err := mgr2.Result(plug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kernel(res) != kernel(baseline) {
+		t.Errorf("degraded-restart resume diverged:\n  resumed  %+v\n  baseline %+v", kernel(res), kernel(baseline))
+	}
+
+	// The backlog has drained below the bound: submissions flow again.
+	id, err := mgr2.Submit(smallJob(380))
+	if err != nil {
+		t.Fatalf("post-drain submit: %v", err)
+	}
+	if st := waitManagerTerminal(t, mgr2, id); st.State != StateDone {
+		t.Errorf("post-drain job = %s (%s), want done", st.State, st.Error)
+	}
+}

@@ -26,6 +26,10 @@ var (
 	ErrNotFound     = errors.New("service: no such job")
 	ErrNotFinished  = errors.New("service: job has not finished")
 	ErrFinished     = errors.New("service: job already finished")
+	// errTenantFull is the per-tenant admission bound (the global bound
+	// is ErrQueueFull); the server maps it to 429 rather than 503 —
+	// the service is fine, that tenant is over its share.
+	errTenantFull = errors.New("service: tenant queue depth exceeded")
 )
 
 // ManagerConfig sizes the Manager. Zero fields take defaults.
@@ -80,6 +84,32 @@ type ManagerConfig struct {
 	// mode; a shard exceeding it is cancelled on that worker and retried
 	// on the next (0 = no per-attempt cap).
 	ShardTimeout time.Duration
+	// RetryBackoff spaces shard retry attempts in coordinator mode with
+	// capped jittered exponential delays (zero value = default policy
+	// on; Disabled restores immediate rotation).
+	RetryBackoff fleet.Backoff
+	// BreakerThreshold and BreakerCooldown configure the coordinator's
+	// per-worker circuit breakers (0 = fleet.Breaker defaults).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HealthInterval is the coordinator's worker health-probe period:
+	// every tick, GET /healthz on each fleet worker feeds the circuit
+	// breakers, evicting dead workers between jobs and re-admitting
+	// recovered ones immediately. 0 = 5 s; negative disables probing.
+	// Ignored outside coordinator mode.
+	HealthInterval time.Duration
+	// Tenants, when non-empty, turns on multi-tenancy: API-key
+	// authentication, per-tenant rate limits and quotas, and
+	// weighted-fair scheduling. Empty keeps anonymous single-flow
+	// operation, bit-for-bit compatible with pre-tenant deployments.
+	Tenants []TenantConfig
+	// TenantQueueDepth bounds each tenant's queued (not running) jobs
+	// (0 = no per-tenant bound; only the global QueueDepth applies). A
+	// tenant's own TenantConfig.QueueDepth overrides it.
+	TenantQueueDepth int
+	// Clock is the time source for rate-limit buckets (nil = time.Now).
+	// Tests inject a fake clock so limiter tests never sleep.
+	Clock func() time.Time
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -111,6 +141,8 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 type job struct {
 	id        string
 	req       JobRequest
+	tenant    string // owning tenant name ("" = anonymous)
+	class     int    // priority class (classBatch/classNormal/classInteractive)
 	circuit   string // display name
 	state     JobState
 	created   time.Time
@@ -141,10 +173,16 @@ type Manager struct {
 	order []string // submission order, for listing
 	seq   int64
 
-	queue       chan *job
+	sched       *sched
 	wg          sync.WaitGroup
 	closed      bool
 	janitorStop chan struct{}
+	healthStop  chan struct{}
+
+	// Tenant limiter state, keyed by API key (auth) and by name
+	// (scheduling, charging). Buckets are touched only under m.mu.
+	tenantsByKey  map[string]*tenantState
+	tenantsByName map[string]*tenantState
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -175,6 +213,10 @@ type Manager struct {
 	shardsFailed    atomic.Int64
 	shardsCancelled atomic.Int64
 	batchFallbacks  atomic.Int64
+
+	loadShed      atomic.Int64
+	rateLimited   atomic.Int64
+	quotaExceeded atomic.Int64
 
 	jobsSubmitted    atomic.Int64
 	jobsCompleted    atomic.Int64
@@ -234,10 +276,40 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	}
 	if len(cfg.FleetWorkers) > 0 {
 		m.fleetCoord = &fleet.Coordinator{
-			Workers:      cfg.FleetWorkers,
-			ShardTimeout: cfg.ShardTimeout,
+			Workers:          cfg.FleetWorkers,
+			ShardTimeout:     cfg.ShardTimeout,
+			RetryBackoff:     cfg.RetryBackoff,
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
 		}
 	}
+	m.tenantsByKey = make(map[string]*tenantState)
+	m.tenantsByName = make(map[string]*tenantState)
+	for _, tc := range cfg.Tenants {
+		if err := tc.validate(); err != nil {
+			cancel()
+			return nil, err
+		}
+		if m.tenantsByName[tc.Name] != nil {
+			cancel()
+			return nil, fmt.Errorf("service: duplicate tenant name %q", tc.Name)
+		}
+		if m.tenantsByKey[tc.Key] != nil {
+			cancel()
+			return nil, fmt.Errorf("service: duplicate api key (tenant %s)", tc.Name)
+		}
+		ts := newTenantState(tc, m.now())
+		m.tenantsByKey[tc.Key] = ts
+		m.tenantsByName[tc.Name] = ts
+	}
+	m.sched = newSched(cfg.QueueDepth, func(tenant string) int {
+		if ts := m.tenantsByName[tenant]; ts != nil && ts.cfg.QueueDepth > 0 {
+			return ts.cfg.QueueDepth
+		}
+		return cfg.TenantQueueDepth
+	}, func(tenant string) float64 {
+		return m.tenantsByName[tenant].weight()
+	})
 	var pending []*job
 	if cfg.DataDir != "" {
 		jn, recs, _, err := newJournal(cfg.DataDir)
@@ -248,16 +320,12 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		m.journal = jn
 		pending = m.replay(recs)
 	}
-	// Interrupted jobs must all fit: the queue grows past QueueDepth if
-	// the crashed process had more in flight (queued + running) than the
-	// restarted configuration would normally admit.
-	queueCap := cfg.QueueDepth
-	if len(pending) > queueCap {
-		queueCap = len(pending)
-	}
-	m.queue = make(chan *job, queueCap)
+	// Interrupted jobs are re-admitted past the depth bounds: work that
+	// was already accepted (and checkpointed) is never shed by a
+	// restart. The queue may start over capacity — degraded mode — which
+	// blocks new submissions until the recovered backlog drains.
 	for _, j := range pending {
-		m.queue <- j
+		m.sched.enqueueRecovered(j)
 	}
 	if m.journal != nil {
 		if err := m.journal.compact(m.snapshotRecords()); err != nil {
@@ -276,7 +344,56 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		m.wg.Add(1)
 		go m.janitor()
 	}
+	if m.fleetCoord != nil && cfg.HealthInterval >= 0 {
+		m.healthStop = make(chan struct{})
+		m.wg.Add(1)
+		go m.healthLoop()
+	}
 	return m, nil
+}
+
+// now is the limiter clock (cfg.Clock for tests, wall clock otherwise).
+func (m *Manager) now() time.Time {
+	if m.cfg.Clock != nil {
+		return m.cfg.Clock()
+	}
+	return time.Now()
+}
+
+// Authenticate resolves an API key to a tenant name. With no tenants
+// configured every caller is the anonymous tenant "" (legacy mode);
+// with tenants, an unknown key is refused.
+func (m *Manager) Authenticate(key string) (string, bool) {
+	if len(m.tenantsByName) == 0 {
+		return "", true
+	}
+	ts, ok := m.tenantsByKey[key]
+	if !ok {
+		return "", false
+	}
+	return ts.cfg.Name, true
+}
+
+// healthLoop probes fleet workers' /healthz on a timer, feeding the
+// coordinator's circuit breakers (coordinator mode only).
+func (m *Manager) healthLoop() {
+	defer m.wg.Done()
+	interval := m.cfg.HealthInterval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.healthStop:
+			return
+		case <-m.baseCtx.Done():
+			return
+		case <-t.C:
+			m.fleetCoord.ProbeWorkers(m.baseCtx)
+		}
+	}
 }
 
 // replay folds journal records into the job table and returns the jobs
@@ -294,9 +411,18 @@ func (m *Manager) replay(recs []record) []*job {
 			if _, err := fmt.Sscanf(rec.Job, "job-%d", &n); err == nil && n > m.seq {
 				m.seq = n
 			}
+			// Pre-tenant (PR 4-era) records carry no tenant and no
+			// priority; both default to the legacy flow (anonymous,
+			// normal), so old journals replay unchanged.
+			class, err := classOf(rec.Req.Options.Priority)
+			if err != nil {
+				class = classNormal
+			}
 			j := &job{
 				id:      rec.Job,
 				req:     *rec.Req,
+				tenant:  rec.Tenant,
+				class:   class,
 				circuit: displayName(*rec.Req),
 				state:   StateQueued,
 				created: rec.Time,
@@ -359,7 +485,7 @@ func (m *Manager) snapshotRecords() []record {
 	var recs []record
 	for _, id := range m.order {
 		j := m.jobs[id]
-		recs = append(recs, record{Type: recSubmit, Job: j.id, Time: j.created, Req: &j.req})
+		recs = append(recs, record{Type: recSubmit, Job: j.id, Time: j.created, Req: &j.req, Tenant: j.tenant})
 		if !j.started.IsZero() {
 			recs = append(recs, record{Type: recStart, Job: j.id, Time: j.started})
 		}
@@ -399,10 +525,22 @@ func (m *Manager) journalAppend(rec record) {
 	}
 }
 
-// Submit validates nothing (the server already has) and enqueues the
-// job, returning its ID. The submit record is journaled (and fsync'd)
-// before Submit returns, so an acknowledged job survives a crash.
+// Submit enqueues an anonymous-tenant job — the pre-tenant API,
+// unchanged for legacy callers and tests.
 func (m *Manager) Submit(req JobRequest) (string, error) {
+	return m.SubmitAs(req, "")
+}
+
+// SubmitAs validates nothing (the server already has) and runs the
+// tenant's admission pipeline: rate limits and quota, then weighted-
+// fair enqueue with depth bounds and priority load shedding. The
+// submit record is journaled (and fsync'd) before SubmitAs returns, so
+// an acknowledged job survives a crash.
+func (m *Manager) SubmitAs(req JobRequest, tenant string) (string, error) {
+	class, err := classOf(req.Options.Priority)
+	if err != nil {
+		return "", err
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -410,30 +548,59 @@ func (m *Manager) Submit(req JobRequest) (string, error) {
 		expRejectedShutdown.Add(1)
 		return "", ErrShuttingDown
 	}
+	if rle := m.tenantsByName[tenant].admit(m.now()); rle != nil {
+		m.mu.Unlock()
+		if rle.Code == codeQuotaExceeded {
+			m.quotaExceeded.Add(1)
+			expQuotaExceeded.Add(1)
+		} else {
+			m.rateLimited.Add(1)
+			expRateLimited.Add(1)
+		}
+		return "", rle
+	}
 	m.seq++
 	j := &job{
 		id:      fmt.Sprintf("job-%06d", m.seq),
 		req:     req,
+		tenant:  tenant,
+		class:   class,
 		circuit: displayName(req),
 		state:   StateQueued,
 		created: time.Now(),
 	}
-	select {
-	case m.queue <- j:
-	default:
+	shed, err := m.sched.enqueue(j)
+	if err != nil {
 		m.seq-- // the ID was never exposed; reuse it
 		m.mu.Unlock()
 		m.rejectedFull.Add(1)
 		expRejectedFull.Add(1)
-		return "", ErrQueueFull
+		return "", err
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+	var shedRec *record
+	if shed != nil {
+		// The victim was displaced by a strictly higher-priority job:
+		// finalize it as cancelled, with the shed cause on record.
+		shed.cancelled = true
+		shed.state = StateCancelled
+		shed.finished = time.Now()
+		shed.errMsg = "load shed: displaced by higher-priority work"
+		m.jobsCancelled.Add(1)
+		expJobsCancelled.Add(1)
+		m.loadShed.Add(1)
+		expLoadShed.Add(1)
+		shedRec = &record{Type: recTerminal, Job: shed.id, Time: shed.finished, State: StateCancelled, Error: shed.errMsg}
+	}
 	evicted := m.evictLocked(time.Now())
 	m.mu.Unlock()
 	m.jobsSubmitted.Add(1)
 	expJobsSubmitted.Add(1)
-	m.journalAppend(record{Type: recSubmit, Job: j.id, Time: j.created, Req: &j.req})
+	m.journalAppend(record{Type: recSubmit, Job: j.id, Time: j.created, Req: &j.req, Tenant: j.tenant})
+	if shedRec != nil {
+		m.journalAppend(*shedRec)
+	}
 	for _, rec := range evicted {
 		m.journalAppend(rec)
 	}
@@ -458,22 +625,43 @@ func displayName(req JobRequest) string {
 
 // Status returns the job's current status snapshot.
 func (m *Manager) Status(id string) (JobStatus, error) {
+	return m.StatusFor(id, "")
+}
+
+// StatusFor is Status scoped to a tenant: a job owned by a different
+// tenant is ErrNotFound (existence is not leaked across tenants).
+// Tenant "" is unscoped — the anonymous/legacy view.
+func (m *Manager) StatusFor(id, tenant string) (JobStatus, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
-	if !ok {
+	if !ok || !visibleTo(j, tenant) {
 		return JobStatus{}, ErrNotFound
 	}
 	return j.statusLocked(), nil
 }
 
+// visibleTo reports whether a tenant may see a job. The unscoped view
+// (tenant "") sees everything; it is only reachable when no tenants are
+// configured (the server authenticates before resolving a tenant).
+func visibleTo(j *job, tenant string) bool {
+	return tenant == "" || j.tenant == tenant
+}
+
 // List returns the status of every job in submission order.
 func (m *Manager) List() []JobStatus {
+	return m.ListFor("")
+}
+
+// ListFor is List scoped to a tenant ("" = unscoped).
+func (m *Manager) ListFor(tenant string) []JobStatus {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]JobStatus, 0, len(m.order))
 	for _, id := range m.order {
-		out = append(out, m.jobs[id].statusLocked())
+		if j := m.jobs[id]; visibleTo(j, tenant) {
+			out = append(out, j.statusLocked())
+		}
 	}
 	return out
 }
@@ -483,6 +671,8 @@ func (j *job) statusLocked() JobStatus {
 		ID:        j.id,
 		State:     j.state,
 		Circuit:   j.circuit,
+		Tenant:    j.tenant,
+		Priority:  className(j.class),
 		Streaming: j.req.Streaming,
 		CacheHit:  j.cacheHit,
 		Created:   j.created,
@@ -511,10 +701,15 @@ func (j *job) statusLocked() JobStatus {
 
 // Result returns the final result of a done job.
 func (m *Manager) Result(id string) (JobResult, error) {
+	return m.ResultFor(id, "")
+}
+
+// ResultFor is Result scoped to a tenant ("" = unscoped).
+func (m *Manager) ResultFor(id, tenant string) (JobResult, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
-	if !ok {
+	if !ok || !visibleTo(j, tenant) {
 		return JobResult{}, ErrNotFound
 	}
 	if j.result == nil {
@@ -542,12 +737,18 @@ func (m *Manager) Result(id string) (JobResult, error) {
 }
 
 // Cancel stops a queued or running job. Queued jobs are marked
-// cancelled immediately (the worker skips them); running jobs have
-// their context cancelled and finish at the next hyper-sample boundary.
+// cancelled immediately (and removed from the scheduler); running jobs
+// have their context cancelled and finish at the next hyper-sample
+// boundary.
 func (m *Manager) Cancel(id string) error {
+	return m.CancelFor(id, "")
+}
+
+// CancelFor is Cancel scoped to a tenant ("" = unscoped).
+func (m *Manager) CancelFor(id, tenant string) error {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
-	if !ok {
+	if !ok || !visibleTo(j, tenant) {
 		m.mu.Unlock()
 		return ErrNotFound
 	}
@@ -561,6 +762,9 @@ func (m *Manager) Cancel(id string) error {
 		j.cancelled = true
 		j.state = StateCancelled
 		j.finished = time.Now()
+		// Drop it from the scheduler so it stops occupying queue depth;
+		// if a worker won the race the state check makes it a no-op skip.
+		m.sched.remove(j)
 		m.jobsCancelled.Add(1)
 		expJobsCancelled.Add(1)
 		terminalRec = &record{Type: recTerminal, Job: j.id, Time: j.finished, State: StateCancelled}
@@ -581,7 +785,30 @@ func (m *Manager) Cancel(id string) error {
 func (m *Manager) Stats() Stats {
 	hits, misses := m.pops.stats()
 	ks := m.kernels.Stats()
+	var queued, running int64
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+	}
+	m.mu.Unlock()
+	fs := m.FleetStats()
 	return Stats{
+		JobsQueued:       queued,
+		JobsRunning:      running,
+		QueueDepthByFlow: m.sched.depths(),
+		LoadShed:         m.loadShed.Load(),
+		RateLimited:      m.rateLimited.Load(),
+		QuotaExceeded:    m.quotaExceeded.Load(),
+
+		FleetBackoffNS:    fs.BackoffNS,
+		FleetBreakerTrips: fs.BreakerTrips,
+		FleetWorkersOpen:  fs.WorkersOpen,
+
 		JobsSubmitted:   m.jobsSubmitted.Load(),
 		JobsCompleted:   m.jobsCompleted.Load(),
 		JobsFailed:      m.jobsFailed.Load(),
@@ -591,7 +818,7 @@ func (m *Manager) Stats() Stats {
 		PairsSimulated:  m.pairsSimulated.Load(),
 		UnitsSimulated:  m.unitsSimulated.Load(),
 		WorkersBusy:     m.workersBusy.Load(),
-		QueueDepth:      int64(len(m.queue)),
+		QueueDepth:      int64(m.sched.depth()),
 		PopulationsHeld: int64(m.pops.len()),
 		SimNS:           m.simNS.Load(),
 		MLENS:           m.mleNS.Load(),
@@ -614,9 +841,9 @@ func (m *Manager) Stats() Stats {
 		ShardsFailed:          m.shardsFailed.Load(),
 		ShardsCancelled:       m.shardsCancelled.Load(),
 		BatchFallbacks:        m.batchFallbacks.Load(),
-		FleetShardsDispatched: m.FleetStats().ShardsDispatched,
-		FleetShardsRetried:    m.FleetStats().ShardsRetried,
-		FleetShardsCancelled:  m.FleetStats().ShardsCancelled,
+		FleetShardsDispatched: fs.ShardsDispatched,
+		FleetShardsRetried:    fs.ShardsRetried,
+		FleetShardsCancelled:  fs.ShardsCancelled,
 	}
 }
 
@@ -632,10 +859,13 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	m.closed = true
-	close(m.queue)
+	m.sched.close()
 	close(m.shardQueue)
 	if m.janitorStop != nil {
 		close(m.janitorStop)
+	}
+	if m.healthStop != nil {
+		close(m.healthStop)
 	}
 	m.mu.Unlock()
 
@@ -657,10 +887,15 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// worker is the pool loop: pull, run, repeat until the queue closes.
+// worker is the pool loop: pull in weighted-fair order, run, repeat
+// until the scheduler closes and drains.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		j, ok := m.sched.next()
+		if !ok {
+			return
+		}
 		m.runJob(j)
 	}
 }
@@ -757,6 +992,14 @@ func (m *Manager) runJob(j *job) {
 		// metric). For streaming jobs every unit is also one live pair
 		// simulation; population-mode draws hit precomputed powers, whose
 		// simulations were counted when the population was built.
+		//
+		// The units quota is post-paid: the actual cost lands on the
+		// tenant's bucket now, possibly driving the balance negative,
+		// which blocks that tenant's next submission until the refill
+		// catches up (the cost is unknowable at admission time).
+		if ts := m.tenantsByName[j.tenant]; ts != nil && ts.units != nil {
+			ts.units.charge(m.now(), float64(res.Units))
+		}
 		m.unitsSimulated.Add(int64(res.Units))
 		expUnitsSimulated.Add(int64(res.Units))
 		if j.req.Streaming {
@@ -994,10 +1237,13 @@ func (m *Manager) killForTest() {
 	}
 	m.closed = true
 	m.crashed.Store(true)
-	close(m.queue)
+	m.sched.close()
 	close(m.shardQueue)
 	if m.janitorStop != nil {
 		close(m.janitorStop)
+	}
+	if m.healthStop != nil {
+		close(m.healthStop)
 	}
 	m.mu.Unlock()
 	m.baseCancel()

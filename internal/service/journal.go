@@ -48,6 +48,10 @@ type record struct {
 	Job        string          `json:"job"`
 	Time       time.Time       `json:"time"`
 	Req        *JobRequest     `json:"req,omitempty"`
+	// Tenant attributes a submit record to its owner. Absent in
+	// pre-tenant (PR 4-era) journals, which replay as the anonymous
+	// tenant "" — the backward-compat contract the fixture test pins.
+	Tenant     string          `json:"tenant,omitempty"`
 	Checkpoint *evt.Checkpoint `json:"checkpoint,omitempty"`
 	State      JobState        `json:"state,omitempty"`
 	Error      string          `json:"error,omitempty"`

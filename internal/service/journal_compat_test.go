@@ -1,0 +1,101 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalPR4Compat pins the backward-compat contract for journals
+// written before multi-tenancy existed: testdata/journal_pr4.jsonl is a
+// committed PR 4-era journal — no tenant, no priority fields anywhere.
+// A tenant-aware Manager must replay it cleanly: the finished job comes
+// back with its stored result, the interrupted and never-started jobs
+// re-run to completion as the anonymous tenant at normal priority, and
+// the compacted (rewritten) journal round-trips through another
+// restart.
+func TestJournalPR4Compat(t *testing.T) {
+	// The fixture's job-000002 is the same request as smallJob(22); a
+	// fresh run is the determinism reference for its recovery.
+	baseline := runOnce(t, smallJob(22))
+
+	dir := t.TempDir()
+	raw, err := os.ReadFile(filepath.Join("testdata", "journal_pr4.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, journalName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// RetainFor < 0: the fixture's timestamps are long past any TTL and
+	// must not age out mid-test.
+	cfg := ManagerConfig{Workers: 1, DataDir: dir, RetainFor: -1}
+	mgr, err := NewManager(cfg)
+	if err != nil {
+		t.Fatalf("replaying a pre-tenant journal: %v", err)
+	}
+
+	// The finished job is restored verbatim, owned by the anonymous
+	// tenant at the default priority.
+	st, err := mgr.Status("job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Tenant != "" || st.Priority != "normal" {
+		t.Errorf("restored job = state %s tenant %q priority %q, want done/anonymous/normal", st.State, st.Tenant, st.Priority)
+	}
+	res, err := mgr.Result("job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 12.5 || res.Units != 1800 || !res.Converged {
+		t.Errorf("restored result = %+v, want the journaled estimate 12.5 / 1800 units", res)
+	}
+
+	// The interrupted (started, no checkpoint) and never-started jobs are
+	// recovered and run to completion.
+	if got := mgr.Stats().JobsRecovered; got != 2 {
+		t.Errorf("jobs recovered = %d, want 2", got)
+	}
+	for _, id := range []string{"job-000002", "job-000003"} {
+		if st := waitManagerTerminal(t, mgr, id); st.State != StateDone {
+			t.Fatalf("recovered job %s = %s (%s), want done", id, st.State, st.Error)
+		}
+	}
+	res2, err := mgr.Result("job-000002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kernel(res2) != kernel(baseline) {
+		t.Errorf("pre-tenant recovery diverged:\n  recovered %+v\n  baseline  %+v", kernel(res2), kernel(baseline))
+	}
+
+	// The ID sequence continues past the recovered jobs.
+	id, err := mgr.Submit(smallJob(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "job-000004" {
+		t.Errorf("next job id = %s, want job-000004 (sequence resumes past replayed ids)", id)
+	}
+	waitManagerTerminal(t, mgr, id)
+	shutdownManager(t, mgr)
+
+	// Round trip: the compacted journal the tenant-aware Manager wrote
+	// over the old one must itself replay cleanly.
+	mgr2, err := NewManager(cfg)
+	if err != nil {
+		t.Fatalf("replaying the rewritten journal: %v", err)
+	}
+	defer shutdownManager(t, mgr2)
+	for _, jid := range []string{"job-000001", "job-000002", "job-000003", "job-000004"} {
+		st, err := mgr2.Status(jid)
+		if err != nil {
+			t.Fatalf("job %s lost across the round trip: %v", jid, err)
+		}
+		if st.State != StateDone {
+			t.Errorf("round-tripped job %s = %s, want done", jid, st.State)
+		}
+	}
+}

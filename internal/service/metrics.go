@@ -50,4 +50,11 @@ var (
 	expShardsFailed    = expvar.NewInt("maxpowerd_shards_failed")
 	expShardsCancelled = expvar.NewInt("maxpowerd_shards_cancelled")
 	expBatchFallbacks  = expvar.NewInt("maxpowerd_batch_fallbacks")
+	// Overload-resilience counters: load_shed = queued jobs displaced by
+	// higher-priority arrivals under overload; rate_limited and
+	// quota_exceeded = refused submissions (429s) split by cause —
+	// submission token bucket vs simulated-units budget.
+	expLoadShed      = expvar.NewInt("maxpowerd_load_shed")
+	expRateLimited   = expvar.NewInt("maxpowerd_rate_limited")
+	expQuotaExceeded = expvar.NewInt("maxpowerd_quota_exceeded")
 )

@@ -1,0 +1,307 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Weighted-fair job scheduling (PR 8). The scheduler replaces the PR-1
+// FIFO channel with stride scheduling across tenants plus strict
+// priority classes, so one tenant's backlog cannot starve another's:
+//
+//   - Strict priority across classes: an interactive job always
+//     dequeues before a normal one, which always beats batch.
+//   - Within a class, tenants take turns by stride scheduling: each
+//     flow carries a pass value advanced by strideScale/weight per
+//     dequeue, and the minimum-pass flow goes next. A tenant's wait is
+//     therefore bounded by the number of *tenants* ahead of it (times
+//     their weights), never by the number of *jobs* another tenant has
+//     queued — the fairness invariant the chaos tests assert.
+//   - Jobs within one tenant and class stay FIFO.
+//
+// Admission control lives here too: a per-tenant depth bound, a global
+// bound, and priority load shedding — when the global queue is full, a
+// strictly lower-class queued job is shed to admit a higher-class one
+// (never the reverse), so overload degrades batch work first.
+// Journal-recovered jobs bypass both bounds: a restart must never shed
+// checkpointed work that was already admitted (graceful degradation —
+// resumes keep flowing while new work is refused).
+
+// Priority classes, ordered: higher dequeues first.
+const (
+	classBatch       = 0
+	classNormal      = 1
+	classInteractive = 2
+	numClasses       = 3
+)
+
+// classOf parses options.priority ("" = normal).
+func classOf(priority string) (int, error) {
+	switch priority {
+	case "batch":
+		return classBatch, nil
+	case "", "normal":
+		return classNormal, nil
+	case "interactive":
+		return classInteractive, nil
+	}
+	return 0, fmt.Errorf("options.priority must be one of batch, normal, interactive; got %q", priority)
+}
+
+func className(class int) string {
+	switch class {
+	case classBatch:
+		return "batch"
+	case classInteractive:
+		return "interactive"
+	default:
+		return "normal"
+	}
+}
+
+// strideScale is the stride numerator: pass advances by
+// strideScale/weight per dequeue.
+const strideScale = 1 << 20
+
+// flow is one tenant's scheduler state: a FIFO per class plus the
+// stride pass.
+type flow struct {
+	queues [numClasses][]*job
+	pass   float64
+	weight float64
+	count  int // queued jobs across all classes
+}
+
+// sched is the weighted-fair queue. It has its own lock, subordinate
+// to the Manager's: m.mu may be held when calling in, sched.mu is
+// never held while taking m.mu.
+type sched struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	flows  map[string]*flow
+	size   int     // queued jobs, total
+	vtime  float64 // pass of the last dequeued flow; new flows join here
+	closed bool
+
+	capacity int                  // global queued-job bound
+	capOf    func(string) int     // tenant name → queued-job bound (0 = only the global bound)
+	weightOf func(string) float64 // tenant name → stride weight
+
+	// onPop, when non-nil, observes every dequeue in order (called with
+	// sched.mu held) — the fairness tests' ordering probe.
+	onPop func(*job)
+}
+
+func newSched(capacity int, capOf func(string) int, weightOf func(string) float64) *sched {
+	s := &sched{
+		flows:    make(map[string]*flow),
+		capacity: capacity,
+		capOf:    capOf,
+		weightOf: weightOf,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *sched) flowFor(tenant string) *flow {
+	f := s.flows[tenant]
+	if f == nil {
+		weight := 1.0
+		if s.weightOf != nil {
+			if w := s.weightOf(tenant); w > 0 {
+				weight = w
+			}
+		}
+		// Join at the current virtual time: an idle tenant's pass does
+		// not lag behind, so it cannot monopolize the pool on return.
+		f = &flow{weight: weight, pass: s.vtime}
+		s.flows[tenant] = f
+	}
+	return f
+}
+
+// enqueue admits j or explains why not. On overload it may shed a
+// strictly lower-class queued job to make room: the victim is returned
+// for the Manager to finalize (cancel, journal, count) outside
+// sched.mu. errTenantFull and ErrQueueFull distinguish the per-tenant
+// bound from the global one.
+func (s *sched) enqueue(j *job) (shed *job, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrShuttingDown
+	}
+	f := s.flowFor(j.tenant)
+	if s.capOf != nil {
+		if cap := s.capOf(j.tenant); cap > 0 && f.count >= cap {
+			return nil, errTenantFull
+		}
+	}
+	if s.capacity > 0 && s.size >= s.capacity {
+		shed = s.shedLocked(j.class)
+		if shed == nil {
+			return nil, ErrQueueFull
+		}
+	}
+	f.queues[j.class] = append(f.queues[j.class], j)
+	f.count++
+	s.size++
+	s.cond.Signal()
+	return shed, nil
+}
+
+// enqueueRecovered admits a journal-recovered job unconditionally —
+// past both depth bounds. Checkpointed work that survived a crash is
+// never shed by the successor process (degraded mode: the queue may sit
+// over capacity, which blocks *new* submissions until it drains).
+func (s *sched) enqueueRecovered(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.flowFor(j.tenant)
+	f.queues[j.class] = append(f.queues[j.class], j)
+	f.count++
+	s.size++
+	s.cond.Signal()
+}
+
+// shedLocked picks and removes the load-shed victim for an arriving job
+// of the given class: a queued job of the *lowest* class strictly below
+// it (batch before normal), from the longest queue at that class (ties
+// by tenant name), taken from the tail — the most recently queued job,
+// which has waited least. Returns nil when nothing outranks: a job never
+// sheds its own class or higher.
+func (s *sched) shedLocked(class int) *job {
+	for cls := 0; cls < class; cls++ {
+		var victim *flow
+		victimLen := 0
+		victimName := ""
+		for name, f := range s.flows {
+			n := len(f.queues[cls])
+			if n == 0 {
+				continue
+			}
+			if victim == nil || n > victimLen || (n == victimLen && name < victimName) {
+				victim, victimLen, victimName = f, n, name
+			}
+		}
+		if victim == nil {
+			continue
+		}
+		q := victim.queues[cls]
+		j := q[len(q)-1]
+		victim.queues[cls] = q[:len(q)-1]
+		victim.count--
+		s.size--
+		return j
+	}
+	return nil
+}
+
+// next blocks for the next job in weighted-fair order. ok is false once
+// the scheduler is closed AND drained — close does not abandon queued
+// jobs (shutdown runs them; killForTest stops the workers instead).
+func (s *sched) next() (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if j := s.popLocked(); j != nil {
+			return j, true
+		}
+		if s.closed {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// popLocked dequeues in priority-then-stride order.
+func (s *sched) popLocked() *job {
+	for cls := numClasses - 1; cls >= 0; cls-- {
+		var best *flow
+		bestName := ""
+		for name, f := range s.flows {
+			if len(f.queues[cls]) == 0 {
+				continue
+			}
+			if best == nil || f.pass < best.pass || (f.pass == best.pass && name < bestName) {
+				best, bestName = f, name
+			}
+		}
+		if best == nil {
+			continue
+		}
+		j := best.queues[cls][0]
+		best.queues[cls] = best.queues[cls][1:]
+		best.count--
+		s.size--
+		best.pass += strideScale / best.weight
+		s.vtime = best.pass
+		if s.onPop != nil {
+			s.onPop(j)
+		}
+		return j
+	}
+	return nil
+}
+
+// remove deletes a still-queued job (cancellation); false if it already
+// left the queue.
+func (s *sched) remove(j *job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.flows[j.tenant]
+	if f == nil {
+		return false
+	}
+	q := f.queues[j.class]
+	for i, cand := range q {
+		if cand == j {
+			f.queues[j.class] = append(q[:i:i], q[i+1:]...)
+			f.count--
+			s.size--
+			return true
+		}
+	}
+	return false
+}
+
+// close wakes every waiting worker; next drains the backlog first and
+// then reports done.
+func (s *sched) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// depth returns the total queued-job count.
+func (s *sched) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// depths snapshots per-tenant, per-class queue depths for /v1/stats
+// (tenant → class name → count; empty flows are omitted).
+func (s *sched) depths() map[string]map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]map[string]int)
+	for name, f := range s.flows {
+		if f.count == 0 {
+			continue
+		}
+		byClass := make(map[string]int)
+		for cls := 0; cls < numClasses; cls++ {
+			if n := len(f.queues[cls]); n > 0 {
+				byClass[className(cls)] = n
+			}
+		}
+		key := name
+		if key == "" {
+			key = "anonymous"
+		}
+		out[key] = byClass
+	}
+	return out
+}

@@ -5,8 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"expvar"
+	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strings"
+	"time"
 
 	"repro/internal/fleet"
 	"repro/maxpower"
@@ -16,20 +20,34 @@ import (
 // an uploaded .bench netlist (C7552-class files are well under 1 MiB).
 const maxBodyBytes = 8 << 20
 
+// Machine-readable error codes shared across handlers (the rest are
+// literal at their single use site).
+const (
+	codeRateLimited     = "rate_limited"
+	codeQuotaExceeded   = "quota_exceeded"
+	codeUnauthorized    = "unauthorized"
+	codeTenantQueueFull = "tenant_queue_full"
+)
+
 // Server is the HTTP front of a Manager.
 type Server struct {
 	mgr *Manager
 	mux *http.ServeMux
 }
 
-// NewServer wires the routes around a Manager.
+// NewServer wires the routes around a Manager. The job routes are the
+// tenant plane: when tenants are configured they require an API key
+// (Authorization: Bearer or X-API-Key) and every job is scoped to its
+// owner. The shard, circuit, stats, health, and debug routes are the
+// operator/fleet plane and stay unauthenticated — fleet coordinators
+// and probes are not tenants.
 func NewServer(mgr *Manager) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/jobs", s.authed(s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.authed(s.handleList))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.authed(s.handleStatus))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.authed(s.handleResult))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.authed(s.handleCancel))
 	s.mux.HandleFunc("POST /v1/shards", s.handleShardSubmit)
 	s.mux.HandleFunc("GET /v1/shards/{id}", s.handleShardStatus)
 	s.mux.HandleFunc("DELETE /v1/shards/{id}", s.handleShardCancel)
@@ -43,16 +61,118 @@ func NewServer(mgr *Manager) *Server {
 // Manager exposes the underlying job manager (for shutdown wiring).
 func (s *Server) Manager() *Manager { return s.mgr }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every response passes through the
+// envelope writer, which rewrites any plain-text 4xx/5xx (the mux's
+// own 404/405, anything that slipped past a handler) into the
+// structured JSON error body — the API contract is that *every* error
+// carries a machine-readable code.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
 }
 
-// handleSubmit is POST /v1/jobs: validate, enqueue, 202 with the ID.
-// Every rejection is counted (rejected_invalid / rejected_queue_full /
-// rejected_shutting_down) so load shedding shows up in /v1/stats; 503s
-// carry Retry-After so well-behaved clients back off.
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// apiKey extracts the request's API key: Authorization: Bearer first,
+// X-API-Key as the fallback.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+		return strings.TrimSpace(strings.TrimPrefix(auth, "Bearer "))
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// authed wraps a tenant-plane handler with API-key resolution. With no
+// tenants configured every caller is the anonymous tenant "" and
+// nothing is refused — full pre-tenant compatibility.
+func (s *Server) authed(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tenant, ok := s.mgr.Authenticate(apiKey(r))
+		if !ok {
+			writeError(w, http.StatusUnauthorized, codeUnauthorized, "missing or unknown API key")
+			return
+		}
+		h(w, r, tenant)
+	}
+}
+
+// envelopeWriter intercepts plain-text error responses and rewrites
+// them as the structured JSON error envelope. Handlers that already
+// write JSON (all of ours) pass through untouched.
+type envelopeWriter struct {
+	http.ResponseWriter
+	intercept bool
+	status    int
+	wrote     bool
+}
+
+func (w *envelopeWriter) WriteHeader(status int) {
+	if status >= 400 && !strings.Contains(w.Header().Get("Content-Type"), "json") {
+		w.intercept = true
+		w.status = status
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("Content-Length")
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if !w.intercept {
+		return w.ResponseWriter.Write(b)
+	}
+	// First chunk of an intercepted error is the plain-text message
+	// (http.Error writes exactly one); re-emit it as the envelope and
+	// swallow anything after.
+	if !w.wrote {
+		w.wrote = true
+		body, _ := json.Marshal(apiError{Error: errorBody{
+			Code:    codeForStatus(w.status),
+			Message: strings.TrimSpace(string(b)),
+		}})
+		w.ResponseWriter.Write(body)
+		w.ResponseWriter.Write([]byte("\n"))
+	}
+	return len(b), nil
+}
+
+// codeForStatus maps an HTTP status to the default machine-readable
+// code for errors that did not come through writeError.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusUnauthorized:
+		return codeUnauthorized
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return "body_too_large"
+	case http.StatusTooManyRequests:
+		return codeRateLimited
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusInternalServerError:
+		return "internal"
+	}
+	return fmt.Sprintf("http_%d", status)
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// handleSubmit is POST /v1/jobs: validate, run the tenant's admission
+// pipeline, enqueue, 202 with the ID. Every rejection is counted
+// (rejected_invalid / rejected_queue_full / rejected_shutting_down /
+// rate_limited / quota_exceeded) so load shedding shows up in
+// /v1/stats; 429s and 503s carry Retry-After so well-behaved clients
+// back off.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tenant string) {
 	// MaxBytesReader (unlike a bare LimitReader) also closes the
 	// connection when the cap is blown, so an oversized upload cannot
 	// keep streaming into a dead request.
@@ -78,8 +198,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
-	id, err := s.mgr.Submit(req)
+	id, err := s.mgr.SubmitAs(req, tenant)
+	var rle *RateLimitError
 	switch {
+	case errors.As(err, &rle):
+		w.Header().Set("Retry-After", retryAfterSeconds(rle.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, rle.Code, err.Error())
+		return
+	case errors.Is(err, errTenantFull):
+		// This tenant's backlog bound, not the service's: 429, the
+		// service itself has room.
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, codeTenantQueueFull, err.Error())
+		return
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, "queue_full", err.Error())
@@ -109,14 +240,15 @@ func isBuiltinCircuit(name string) bool {
 	return false
 }
 
-// handleList is GET /v1/jobs.
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+// handleList is GET /v1/jobs, scoped to the caller's tenant.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request, tenant string) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.ListFor(tenant)})
 }
 
-// handleStatus is GET /v1/jobs/{id}.
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	st, err := s.mgr.Status(r.PathValue("id"))
+// handleStatus is GET /v1/jobs/{id}. Another tenant's job is a plain
+// 404 — existence is not leaked across tenants.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, tenant string) {
+	st, err := s.mgr.StatusFor(r.PathValue("id"), tenant)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "not_found", err.Error())
 		return
@@ -125,8 +257,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleResult is GET /v1/jobs/{id}/result.
-func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	res, err := s.mgr.Result(r.PathValue("id"))
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, tenant string) {
+	res, err := s.mgr.ResultFor(r.PathValue("id"), tenant)
 	switch {
 	case errors.Is(err, ErrNotFinished):
 		writeError(w, http.StatusConflict, "not_finished", err.Error())
@@ -139,8 +271,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCancel is DELETE /v1/jobs/{id}.
-func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	err := s.mgr.Cancel(r.PathValue("id"))
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, tenant string) {
+	err := s.mgr.CancelFor(r.PathValue("id"), tenant)
 	switch {
 	case errors.Is(err, ErrFinished):
 		writeError(w, http.StatusConflict, "already_finished", err.Error())
