@@ -324,6 +324,19 @@ func BenchmarkEstimateStreaming(b *testing.B) {
 		src.Workers = workers
 		return src
 	}
+	// Speculative variants run the settle-then-patch executor
+	// (sim.Speculative) — the library default for timed models.
+	newSpeculativeSource := func(b *testing.B, model delay.Model, workers int) *vectorgen.StreamSource {
+		b.Helper()
+		ev := power.NewEvaluator(c, model, power.Params{})
+		ev.UseSpeculative(kernels, c.Name+"/"+model.Name())
+		src, err := vectorgen.NewStreamSource(ev, gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src.Workers = workers
+		return src
+	}
 
 	// Zero delay: the batch path packs 64 pairs per settle pass.
 	b.Run("zero/scalar", func(b *testing.B) {
@@ -356,6 +369,12 @@ func BenchmarkEstimateStreaming(b *testing.B) {
 	})
 	b.Run("fanout/compiled-ncpu", func(b *testing.B) {
 		run(b, newCompiledSource(b, delay.FanoutLoaded{}, runtime.NumCPU()))
+	})
+	b.Run("fanout/speculative-1", func(b *testing.B) {
+		run(b, newSpeculativeSource(b, delay.FanoutLoaded{}, 1))
+	})
+	b.Run("fanout/speculative-ncpu", func(b *testing.B) {
+		run(b, newSpeculativeSource(b, delay.FanoutLoaded{}, runtime.NumCPU()))
 	})
 }
 

@@ -9,26 +9,45 @@
 //
 //	benchstream                      # all circuit × delay-model × engine variants
 //	benchstream -circuits C432       # subset
-//	benchstream -iterations 3        # runs per variant (report the mean)
+//	benchstream -iterations 3        # runs per timed block (fixed seed set)
+//	benchstream -reps 5              # interleaved blocks per variant (report the min)
 //	benchstream -o BENCH_streaming.json
 //	benchstream -check BENCH_streaming.json   # regression gate (no output file)
+//	benchstream -cpuprofile cpu.pprof        # pprof the whole sweep
+//	benchstream -memprofile mem.pprof        # heap profile at exit
 //
 // Protocol: each variant pins the estimator to 8 hyper-samples at
-// ε = 0.001 (the BenchmarkEstimateStreaming configuration) and times
-// complete runs via testing.Benchmark, single worker, so the number is
-// the single-core cost of the lane-packed engines — comparable across
-// commits on the same machine, not across machines. Every circuit ×
-// delay-model pair is measured on two engines: "batched" (the
-// interpreted packed-vector pipeline) and "compiled" (the flat striped
-// kernel, sharing one program cache across iterations the way the
-// service does). Allocation figures (allocs_per_run, bytes_per_run)
-// come from the same runs via -benchmem-style accounting.
+// ε = 0.001 (the BenchmarkEstimateStreaming configuration), single
+// worker, so the number is the single-core cost of the lane-packed
+// engines — comparable across commits on the same machine, not across
+// machines. Every circuit × delay-model pair is measured on three
+// engines: "batched" (the interpreted packed-vector pipeline),
+// "compiled" (the flat striped event wheel), and "speculative"
+// (settle-then-patch, the library default), the compiled engines
+// sharing one program cache the way the service does.
+//
+// Timing is interleaved min-of-reps: all engines of a pair are built
+// first, then -reps timed blocks of -iterations runs each alternate
+// round-robin between the engines, and ns_per_run is the fastest
+// block's mean. Interleaving keeps a host frequency or scheduling
+// swing from landing entirely on one engine (which would skew the
+// cross-engine ratios the baseline exists to track), and the min is
+// the stable summary of a noisy host — the runs are bit-identical, so
+// the fastest observation is the one closest to the machine's true
+// cost. Every engine runs the same fixed seed set, so blocks are the
+// same work everywhere: engine columns are directly comparable.
+// Allocation figures (allocs_per_run, bytes_per_run) come from a
+// separate counted pass after one untimed warm-up run, so they are
+// steady state — lazily built executor scratch is excluded, keeping
+// bytes comparable across engines. Speculative variants also record
+// the speculation counters of one run (stripes, patched words, wheel
+// fallbacks).
 //
 // -check gates on two axes against the committed baseline:
 //   - bytes_per_run: allocation volume is a property of the code and
 //     comparable across machines; >25% growth fails.
 //   - ns_per_run: wall time is machine-dependent, so the gate is
-//     deliberately loose (>25% growth with an absolute floor) and the
+//     deliberately loose (>60% growth with an absolute floor) and the
 //     baseline must be refreshed whenever the reference machine
 //     changes; it exists to catch order-of-magnitude kernel
 //     regressions, not single-digit drift.
@@ -40,8 +59,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
-	"testing"
 	"time"
 
 	"repro/internal/bench"
@@ -65,6 +84,12 @@ type Variant struct {
 	Units       int     `json:"units_per_run"`
 	AllocsPerOp int64   `json:"allocs_per_run"`
 	BytesPerOp  int64   `json:"bytes_per_run"`
+	// Speculation counters of one estimator run (speculative engine
+	// only): timed stripes attempted, gate-words patched, stripes
+	// replayed on the event wheel after a misprediction.
+	SpecStripes   uint64 `json:"spec_stripes,omitempty"`
+	SpecPatched   uint64 `json:"spec_patched_words,omitempty"`
+	SpecFallbacks uint64 `json:"spec_fallbacks,omitempty"`
 }
 
 // key identifies a variant across baseline generations: an absent
@@ -86,17 +111,46 @@ type Baseline struct {
 	NumCPU     int       `json:"num_cpu"`
 	Timestamp  time.Time `json:"timestamp"`
 	Iterations int       `json:"iterations_per_variant"`
+	Reps       int       `json:"reps_per_variant,omitempty"`
 	Variants   []Variant `json:"variants"`
 }
 
 func main() {
 	var (
 		circuits   = flag.String("circuits", "C432,C3540", "comma-separated benchmark circuits")
-		iterations = flag.Int("iterations", 3, "estimator runs per variant")
+		iterations = flag.Int("iterations", 3, "estimator runs per timed block (fixed seed set)")
+		reps       = flag.Int("reps", 7, "interleaved timed blocks per variant; ns_per_run is the fastest block")
 		out        = flag.String("o", "BENCH_streaming.json", "output file (- for stdout)")
-		check      = flag.String("check", "", "baseline file to gate against (fails if bytes_per_run or ns_per_run grows >25%); suppresses output file")
+		check      = flag.String("check", "", "baseline file to gate against (fails if bytes_per_run grows >25% or ns_per_run >60%); suppresses output file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file before exiting")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	base := Baseline{
 		GoVersion:  runtime.Version(),
@@ -105,9 +159,10 @@ func main() {
 		NumCPU:     runtime.NumCPU(),
 		Timestamp:  time.Now().UTC(),
 		Iterations: *iterations,
+		Reps:       *reps,
 	}
-	models := []delay.Model{delay.Zero{}, delay.FanoutLoaded{}}
-	engines := []string{"batched", "compiled"}
+	models := []delay.Model{delay.Zero{}, delay.FanoutLoaded{}, delay.StandardTable()}
+	engines := []string{"batched", "compiled", "speculative"}
 	// One program cache for the whole sweep, shared the way the service
 	// shares its kernel cache: each (circuit, model) compiles once and
 	// every iteration after that hits.
@@ -122,11 +177,11 @@ func main() {
 			fatal(err)
 		}
 		for _, model := range models {
-			for _, engine := range engines {
-				v, err := measure(name, c.NumInputs(), model, engine, *iterations, kernels)
-				if err != nil {
-					fatal(err)
-				}
+			vs, err := measure(name, c.NumInputs(), model, engines, *iterations, *reps, kernels)
+			if err != nil {
+				fatal(err)
+			}
+			for _, v := range vs {
 				fmt.Fprintf(os.Stderr, "%-8s %-14s %-9s %8.1f ms/run %10d B/run %6d allocs/run (%d units)\n",
 					v.Circuit, v.Model, v.Engine, v.MsPerOp, v.BytesPerOp, v.AllocsPerOp, v.Units)
 				base.Variants = append(base.Variants, v)
@@ -160,7 +215,7 @@ func main() {
 // and errors on regressions. bytes_per_run is gated at >25% growth
 // (with a small absolute floor so near-zero baselines don't trip on
 // kilobyte noise) — allocation volume is a property of the code.
-// ns_per_run is gated at the same ratio with a 2 ms absolute floor:
+// ns_per_run is gated at >60% growth with a 5 ms absolute floor:
 // wall time IS machine-dependent, so the gate is only meaningful when
 // the baseline was refreshed on the reference machine, and it is
 // deliberately loose — it catches a kernel falling off a performance
@@ -180,9 +235,17 @@ func checkAgainst(path string, got []Variant) error {
 		ref[v.key()] = v
 	}
 	const (
-		growLimit   = 1.25
+		growLimit = 1.25
+		// Wall time gets a wider budget than bytes: allocation counts
+		// are exact, but absolute ns compare across processes — and the
+		// host's sustained clock drifts ±35% between runs, which the
+		// interleaved min-of-reps protocol cancels within a process but
+		// cannot cancel against a committed baseline. The gate exists to
+		// catch step regressions (an engine falling off its fast path is
+		// ≥2×), not mood swings.
+		nsGrowLimit = 1.6
 		minGrowthB  = 4 << 10   // ignore regressions under 4 KiB/run (seed-set jitter)
-		minGrowthNS = 2_000_000 // ignore regressions under 2 ms/run (scheduler noise)
+		minGrowthNS = 5_000_000 // ignore regressions under 5 ms/run (scheduler noise)
 	)
 	var bad []string
 	for _, v := range got {
@@ -198,7 +261,7 @@ func checkAgainst(path string, got []Variant) error {
 			bad = append(bad, fmt.Sprintf("%s: %d B/run vs baseline %d (limit %d)",
 				v.key(), v.BytesPerOp, w.BytesPerOp, limit))
 		}
-		nsLimit := int64(float64(w.NsPerOp) * growLimit)
+		nsLimit := int64(float64(w.NsPerOp) * nsGrowLimit)
 		if floor := w.NsPerOp + minGrowthNS; nsLimit < floor {
 			nsLimit = floor
 		}
@@ -214,58 +277,86 @@ func checkAgainst(path string, got []Variant) error {
 }
 
 // measure times complete single-worker estimator runs of the
-// BenchmarkEstimateStreaming configuration through testing.Benchmark.
-func measure(name string, inputs int, model delay.Model, engine string, iterations int, kernels *sim.ProgramCache) (Variant, error) {
+// BenchmarkEstimateStreaming configuration for every engine of one
+// circuit × model pair. All engines are built first; then timed blocks
+// of `iterations` runs (seeds 1..iterations) alternate round-robin
+// between the engines for `reps` passes, and each engine reports its
+// fastest block — see the package comment for why interleaved
+// min-of-reps is the protocol. Allocations are counted separately over
+// one fixed post-warm-up pass, outside any timed block.
+func measure(name string, inputs int, model delay.Model, engines []string, iterations, reps int, kernels *sim.ProgramCache) ([]Variant, error) {
 	circuit, err := bench.Generate(name)
 	if err != nil {
-		return Variant{}, err
+		return nil, err
 	}
 	gen := vectorgen.HighActivity{N: inputs, MinActivity: 0.3}
 	cfg := evt.Config{Epsilon: 0.001, MaxHyperSamples: 8}
-	var units int
-	var runErr error
-	r := testing.Benchmark(func(b *testing.B) {
+	type engineRun struct {
+		est *evt.Estimator
+		v   Variant
+	}
+	runs := make([]*engineRun, 0, len(engines))
+	for _, engine := range engines {
 		ev := power.NewEvaluator(circuit, model, power.Params{})
-		if engine == "compiled" {
+		switch engine {
+		case "compiled":
 			ev.UseKernels(kernels, name+"/"+model.Name())
+		case "speculative":
+			ev.UseSpeculative(kernels, name+"/"+model.Name())
 		}
 		src, err := vectorgen.NewStreamSource(ev, gen)
 		if err != nil {
-			runErr = err
-			b.Skip()
-			return
+			return nil, err
 		}
 		src.Workers = 1
 		est, err := evt.New(src, cfg)
 		if err != nil {
-			runErr = err
-			b.Skip()
-			return
+			return nil, err
 		}
-		b.ReportAllocs()
-		// Cycle through a fixed seed set so ns/op is the mean over the
-		// same runs whatever iteration count the harness settles on
-		// (low seeds do full-length 8-hyper-sample runs; see
-		// bench_test.go's protocol note).
-		for i := 0; i < b.N; i++ {
-			res := est.Run(stats.NewRNG(uint64(i%iterations) + 1))
-			units = res.Units
+		er := &engineRun{est: est, v: Variant{Circuit: name, Model: model.Name(), Engine: engine}}
+		// One untimed pass over the full seed set builds the lazily
+		// constructed engine state (packed buffers, compiled executors,
+		// scratch sized for the largest run any seed produces), so both
+		// the counted allocation pass and the timed blocks are steady
+		// state.
+		res := est.Run(stats.NewRNG(1))
+		er.v.Units = res.Units
+		er.v.SpecStripes = res.Engine.SpecStripes
+		er.v.SpecPatched = res.Engine.SpecPatched
+		er.v.SpecFallbacks = res.Engine.SpecFallbacks
+		for i := 1; i < iterations; i++ {
+			est.Run(stats.NewRNG(uint64(i) + 1))
 		}
-	})
-	if runErr != nil {
-		return Variant{}, runErr
+		// Counted allocation pass: TotalAlloc/Mallocs are monotonic, so
+		// the deltas are exact whatever the GC does in between.
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < iterations; i++ {
+			est.Run(stats.NewRNG(uint64(i) + 1))
+		}
+		runtime.ReadMemStats(&m1)
+		er.v.AllocsPerOp = int64(m1.Mallocs-m0.Mallocs) / int64(iterations)
+		er.v.BytesPerOp = int64(m1.TotalAlloc-m0.TotalAlloc) / int64(iterations)
+		runs = append(runs, er)
 	}
-	ns := r.NsPerOp()
-	return Variant{
-		Circuit:     name,
-		Model:       model.Name(),
-		Engine:      engine,
-		NsPerOp:     ns,
-		MsPerOp:     float64(ns) / 1e6,
-		Units:       units,
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-	}, nil
+	for rep := 0; rep < reps; rep++ {
+		for _, er := range runs {
+			t0 := time.Now()
+			for i := 0; i < iterations; i++ {
+				er.est.Run(stats.NewRNG(uint64(i) + 1))
+			}
+			per := time.Since(t0).Nanoseconds() / int64(iterations)
+			if er.v.NsPerOp == 0 || per < er.v.NsPerOp {
+				er.v.NsPerOp = per
+			}
+		}
+	}
+	vs := make([]Variant, len(runs))
+	for i, er := range runs {
+		er.v.MsPerOp = float64(er.v.NsPerOp) / 1e6
+		vs[i] = er.v
+	}
+	return vs, nil
 }
 
 func fatal(err error) {

@@ -1,9 +1,10 @@
-package evt
+package evt_test
 
 import (
 	"math"
 	"testing"
 
+	"repro/internal/evt"
 	"repro/internal/stats"
 	"repro/internal/vectorgen"
 )
@@ -38,12 +39,12 @@ func (c *countingBatch) SampleBatch(rng *stats.RNG, dst []float64) {
 
 // scalarOnly hides a source's SampleBatch so the estimator falls back to
 // per-unit draws.
-type scalarOnly struct{ src Source }
+type scalarOnly struct{ src evt.Source }
 
 func (s scalarOnly) SamplePower(rng *stats.RNG) float64 { return s.src.SamplePower(rng) }
 func (s scalarOnly) Size() int                          { return s.src.Size() }
 
-func resultsEqual(a, b Result) bool {
+func resultsEqual(a, b evt.Result) bool {
 	return a.Estimate == b.Estimate && a.CILow == b.CILow && a.CIHigh == b.CIHigh &&
 		a.RelErr == b.RelErr && a.Units == b.Units && a.HyperSamples == b.HyperSamples &&
 		a.Converged == b.Converged && a.ObservedMax == b.ObservedMax && a.SigmaSq == b.SigmaSq
@@ -53,14 +54,14 @@ func resultsEqual(a, b Result) bool {
 // same seed, the batched and scalar sampling paths must produce
 // bit-identical results — estimates, intervals, unit counts, everything.
 func TestBatchPathBitIdenticalToScalar(t *testing.T) {
-	cfg := Config{Epsilon: 0.001, MaxHyperSamples: 12}
+	cfg := evt.Config{Epsilon: 0.001, MaxHyperSamples: 12}
 	for _, seed := range []uint64{1, 7, 42, 1 << 40} {
 		src := &countingBatch{}
-		batched, err := New(src, cfg)
+		batched, err := evt.New(src, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		scalar, err := New(scalarOnly{src: src}, cfg)
+		scalar, err := evt.New(scalarOnly{src: src}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,12 +98,12 @@ func TestPopulationBatchBitIdenticalToScalar(t *testing.T) {
 	}
 	pop := vectorgen.FromPowers("synthetic", powers)
 
-	cfg := Config{Epsilon: 0.02}
-	batched, err := New(pop, cfg)
+	cfg := evt.Config{Epsilon: 0.02}
+	batched, err := evt.New(pop, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	scalar, err := New(scalarOnly{src: pop}, cfg)
+	scalar, err := evt.New(scalarOnly{src: pop}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -91,6 +91,57 @@ type Progress struct {
 	Converged bool
 }
 
+// EngineStats carries the simulation backend's execution-strategy
+// counters for one estimation run. The speculative settle-then-patch
+// kernel reports how many timed stripes it attempted, how many
+// gate-words it patched from hazard analysis, and how many stripes fell
+// back to the full event wheel after a misprediction. All strategies
+// are bit-identical, so these numbers never explain a result — they
+// explain its cost, and services surface them for capacity planning and
+// regression triage.
+type EngineStats struct {
+	// SpecStripes counts timed stripes the speculative executor ran.
+	SpecStripes uint64 `json:"spec_stripes,omitempty"`
+	// SpecPatched counts gate-words patched via hazard analysis or
+	// waveform merge (the work the wheel never had to schedule).
+	SpecPatched uint64 `json:"spec_patched_words,omitempty"`
+	// SpecFallbacks counts stripes replayed on the event wheel after a
+	// waveform/settle disagreement.
+	SpecFallbacks uint64 `json:"spec_fallbacks,omitempty"`
+}
+
+// Add returns the element-wise sum of two counter sets.
+func (s EngineStats) Add(o EngineStats) EngineStats {
+	s.SpecStripes += o.SpecStripes
+	s.SpecPatched += o.SpecPatched
+	s.SpecFallbacks += o.SpecFallbacks
+	return s
+}
+
+// Sub returns the element-wise difference s − o (counters are
+// monotonic, so this is the delta between two snapshots).
+func (s EngineStats) Sub(o EngineStats) EngineStats {
+	s.SpecStripes -= o.SpecStripes
+	s.SpecPatched -= o.SpecPatched
+	s.SpecFallbacks -= o.SpecFallbacks
+	return s
+}
+
+// EngineStatsSource is an optional upgrade of Source for backends that
+// expose cumulative execution-strategy counters. The estimator
+// snapshots the counters around each run and reports the delta in
+// Result.Engine, so one long-lived source serving several runs
+// attributes counts to the right run. Sources without the upgrade — and
+// runs folded from shard records — leave Result.Engine zero.
+//
+// The method returns bare counters rather than an EngineStats so that
+// source packages (which this package's tests import) never need to
+// import evt back.
+type EngineStatsSource interface {
+	Source
+	SpecCounters() (stripes, patched, fallbacks uint64)
+}
+
 // Observer receives Progress snapshots from a running estimation. It is
 // the estimator's observation seam: callers (a progress bar, a serving
 // daemon, a metrics exporter) subscribe without perturbing the sampling
@@ -301,6 +352,10 @@ type Result struct {
 	// drawing unit powers (simulation) and Weibull MLE fitting. Their sum
 	// is less than the total wall time by the (cheap) interval bookkeeping.
 	SimTime, FitTime time.Duration
+	// Engine holds the backend's execution-strategy counters for this
+	// run when the source implements EngineStatsSource (zero otherwise).
+	// Purely observational: results are bit-identical across strategies.
+	Engine EngineStats
 }
 
 // Estimator runs the paper's iterative procedure against a Source. When
@@ -467,6 +522,23 @@ func (e *Estimator) Run(rng *stats.RNG) Result {
 // the statistical fields of the returned Result are bit-identical to
 // those of the uninterrupted run (Trace covers only the resumed portion).
 func (e *Estimator) RunContext(ctx context.Context, rng *stats.RNG) Result {
+	// Snapshot the backend's strategy counters so Result.Engine reports
+	// this run's delta even when the source outlives the estimator.
+	es, hasES := e.src.(EngineStatsSource)
+	var before EngineStats
+	if hasES {
+		before.SpecStripes, before.SpecPatched, before.SpecFallbacks = es.SpecCounters()
+	}
+	res := e.runContext(ctx, rng)
+	if hasES {
+		var after EngineStats
+		after.SpecStripes, after.SpecPatched, after.SpecFallbacks = es.SpecCounters()
+		res.Engine = after.Sub(before)
+	}
+	return res
+}
+
+func (e *Estimator) runContext(ctx context.Context, rng *stats.RNG) Result {
 	cfg := e.cfg
 	var (
 		res       Result

@@ -97,33 +97,43 @@ func TestKernelCacheSharing(t *testing.T) {
 	}
 }
 
-// TestKernelStripeZeroAlloc guards the compiled steady state: a warm
-// striped evaluation of a full multi-word stripe allocates nothing.
+// TestKernelStripeZeroAlloc guards the compiled and speculative steady
+// states: a warm striped evaluation of a full multi-word stripe
+// allocates nothing, whichever executor runs it.
 func TestKernelStripeZeroAlloc(t *testing.T) {
 	c := bench.MustGenerate("C432")
-	for _, m := range []delay.Model{delay.Zero{}, delay.FanoutLoaded{}} {
-		e := NewEvaluator(c, m, Params{})
-		e.UseKernels(nil, "")
-		const n = 300
-		var pp sim.PackedPairs
-		pp.Reset(c.NumInputs(), n)
-		for i := 0; i < n; i++ {
-			pp.SetPair(i, kernelPattern(c.NumInputs(), uint64(i+1)), kernelPattern(c.NumInputs(), uint64(i+500)))
-		}
-		out := make([]float64, n)
-		if err := e.BatchMWPacked(&pp, out); err != nil {
-			t.Fatal(err) // warm: compile + grow toggle planes
-		}
-		if err := e.BatchMWPacked(&pp, out); err != nil {
-			t.Fatal(err)
-		}
-		allocs := testing.AllocsPerRun(10, func() {
+	engines := []struct {
+		name   string
+		enable func(e *Evaluator)
+	}{
+		{"compiled", func(e *Evaluator) { e.UseKernels(nil, "") }},
+		{"speculative", func(e *Evaluator) { e.UseSpeculative(nil, "") }},
+	}
+	for _, eng := range engines {
+		for _, m := range []delay.Model{delay.Zero{}, delay.FanoutLoaded{}} {
+			e := NewEvaluator(c, m, Params{})
+			eng.enable(e)
+			const n = 300
+			var pp sim.PackedPairs
+			pp.Reset(c.NumInputs(), n)
+			for i := 0; i < n; i++ {
+				pp.SetPair(i, kernelPattern(c.NumInputs(), uint64(i+1)), kernelPattern(c.NumInputs(), uint64(i+500)))
+			}
+			out := make([]float64, n)
+			if err := e.BatchMWPacked(&pp, out); err != nil {
+				t.Fatal(err) // warm: compile + grow toggle planes
+			}
 			if err := e.BatchMWPacked(&pp, out); err != nil {
 				t.Fatal(err)
 			}
-		})
-		if allocs != 0 {
-			t.Fatalf("%s: kernel BatchMWPacked allocated %v/op, want 0", m.Name(), allocs)
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := e.BatchMWPacked(&pp, out); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("%s/%s: kernel BatchMWPacked allocated %v/op, want 0", eng.name, m.Name(), allocs)
+			}
 		}
 	}
 }

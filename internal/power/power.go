@@ -130,6 +130,11 @@ type Evaluator struct {
 	kernelKey  string
 	prog       *sim.Program
 	striped    *sim.Striped
+	// speculate selects the settle-then-patch executor for kernel
+	// stripes; spec is its lazily built per-instance run state (it owns
+	// a wheel of its own for per-stripe misprediction fallback).
+	speculate bool
+	spec      *sim.Speculative
 
 	// pack1/pack2 are the [][]bool-adapter pack scratch, reused across
 	// calls so the legacy batch entry points stop allocating per call.
@@ -186,6 +191,7 @@ func (e *Evaluator) Clone() *Evaluator {
 		kernels:    e.kernels,
 		kernelKey:  e.kernelKey,
 		prog:       e.prog,
+		speculate:  e.speculate,
 	}
 }
 
@@ -201,10 +207,42 @@ func (e *Evaluator) UseKernels(cache *sim.ProgramCache, key string) {
 	e.kernelKey = key
 	e.prog = nil
 	e.striped = nil
+	e.speculate = false
+	e.spec = nil
 }
 
 // KernelsEnabled reports whether the compiled striped engine is active.
 func (e *Evaluator) KernelsEnabled() bool { return e.useKernels }
+
+// UseSpeculative is UseKernels with the speculative settle-then-patch
+// executor selected for timed stripes: phase 1 settles both vectors on
+// the zero-delay compiled path, phase 2 patches toggle counts from
+// compile-time hazard analysis and per-gate-word waveform merges, and
+// any gate-word whose final waveform value disagrees with the settled
+// vector sends that stripe to the full event wheel. Results stay
+// bit-identical to the wheel — and so to the scalar oracle — on every
+// delay model (the misprediction check is exact, not heuristic); only
+// the execution strategy and speed change. Zero-delay programs are
+// unaffected (settling already is the whole computation there).
+func (e *Evaluator) UseSpeculative(cache *sim.ProgramCache, key string) {
+	e.UseKernels(cache, key)
+	e.speculate = true
+	e.spec = nil
+}
+
+// SpeculationEnabled reports whether kernel stripes run on the
+// settle-then-patch executor.
+func (e *Evaluator) SpeculationEnabled() bool { return e.useKernels && e.speculate }
+
+// SpecStats returns this evaluator's cumulative speculation counters
+// (zero when the speculative executor is off or not yet built). Clones
+// count independently; sum across a worker pool for run totals.
+func (e *Evaluator) SpecStats() sim.SpecStats {
+	if e.spec == nil {
+		return sim.SpecStats{}
+	}
+	return e.spec.Stats()
+}
 
 // program resolves the compiled program, through the shared cache when
 // one was provided. Delays come from the simulator's own assignment, so
@@ -478,13 +516,22 @@ func (e *Evaluator) PackedStripeMW(pp *sim.PackedPairs, stripe int, out []float6
 	if lanes <= 0 || len(out) != lanes {
 		return fmt.Errorf("power: %d power slots for stripe %d of %d packed pairs", len(out), stripe, pp.N)
 	}
-	if e.striped == nil {
-		e.striped = sim.NewStriped(p)
-		// Cycle energy needs only the toggle planes: skip the per-lane
-		// settle/event aggregation entirely.
-		e.striped.LaneStats = false
+	var r *sim.StripedResult
+	if e.speculate {
+		if e.spec == nil {
+			e.spec = sim.NewSpeculative(p)
+			// Cycle energy needs only the toggle planes: skip the
+			// per-lane settle/event aggregation entirely.
+			e.spec.LaneStats = false
+		}
+		r = e.spec.Run(pp, stripe)
+	} else {
+		if e.striped == nil {
+			e.striped = sim.NewStriped(p)
+			e.striped.LaneStats = false
+		}
+		r = e.striped.Run(pp, stripe)
 	}
-	r := e.striped.Run(pp, stripe)
 	e.stripeMW(r, out)
 	return nil
 }

@@ -233,6 +233,15 @@ type Stats struct {
 	KernelCacheMisses int64 `json:"kernel_cache_misses"`
 	KernelCompileNS   int64 `json:"kernel_compile_ns"`
 	KernelsHeld       int64 `json:"kernels_cached"`
+	// Speculative-kernel counters (PR 10): timed stripes attempted by
+	// the settle-then-patch executor, gate-words patched from hazard
+	// analysis, and stripes replayed on the full event wheel after a
+	// misprediction. Strategy choice never changes results; these track
+	// where the simulation time went. Mirrored process-wide as
+	// maxpowerd_spec_stripes / maxpowerd_spec_fallbacks on /debug/vars.
+	SpecStripes      int64 `json:"spec_stripes"`
+	SpecPatchedWords int64 `json:"spec_patched_words"`
+	SpecFallbacks    int64 `json:"spec_fallbacks"`
 	// Robustness counters (PR 4). JobsRecovered counts jobs re-enqueued
 	// from the journal after a restart; JobsEvicted, terminal jobs
 	// dropped by the retention policy; DeadlineExceeded, jobs stopped by

@@ -235,6 +235,9 @@ type Manager struct {
 	workersBusy      atomic.Int64
 	simNS            atomic.Int64
 	mleNS            atomic.Int64
+	specStripes      atomic.Int64
+	specPatched      atomic.Int64
+	specFallbacks    atomic.Int64
 
 	// OnProgress, when non-nil, is invoked after each job progress
 	// update (job status already reflects the snapshot). It runs on the
@@ -827,6 +830,9 @@ func (m *Manager) Stats() Stats {
 		KernelCacheMisses: ks.Misses,
 		KernelCompileNS:   ks.CompileNS,
 		KernelsHeld:       int64(m.kernels.Len()),
+		SpecStripes:       m.specStripes.Load(),
+		SpecPatchedWords:  m.specPatched.Load(),
+		SpecFallbacks:     m.specFallbacks.Load(),
 
 		JobsRecovered:    m.jobsRecovered.Load(),
 		JobsEvicted:      m.jobsEvicted.Load(),
@@ -1012,6 +1018,14 @@ func (m *Manager) runJob(j *job) {
 		expSimNS.Add(int64(res.SimTime))
 		m.mleNS.Add(int64(res.FitTime))
 		expMLENS.Add(int64(res.FitTime))
+		// Execution-strategy counters from the speculative kernel (zero
+		// for population-mode and fleet-folded results).
+		m.specStripes.Add(int64(res.Engine.SpecStripes))
+		m.specPatched.Add(int64(res.Engine.SpecPatched))
+		m.specFallbacks.Add(int64(res.Engine.SpecFallbacks))
+		expSpecStripes.Add(int64(res.Engine.SpecStripes))
+		expSpecPatched.Add(int64(res.Engine.SpecPatched))
+		expSpecFallbacks.Add(int64(res.Engine.SpecFallbacks))
 	}
 	term := record{
 		Type: recTerminal, Job: j.id, Time: j.finished,

@@ -44,10 +44,10 @@ const (
 // per type: Req on submit, Checkpoint on checkpoint, State/Error/
 // CacheHit/Result on terminal.
 type record struct {
-	Type       string          `json:"type"`
-	Job        string          `json:"job"`
-	Time       time.Time       `json:"time"`
-	Req        *JobRequest     `json:"req,omitempty"`
+	Type string      `json:"type"`
+	Job  string      `json:"job"`
+	Time time.Time   `json:"time"`
+	Req  *JobRequest `json:"req,omitempty"`
 	// Tenant attributes a submit record to its owner. Absent in
 	// pre-tenant (PR 4-era) journals, which replay as the anonymous
 	// tenant "" — the backward-compat contract the fixture test pins.

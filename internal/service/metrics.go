@@ -7,12 +7,12 @@ import "expvar"
 // expvar.Publish panics on duplicate names, so these live at package
 // scope and are created exactly once.
 var (
-	expJobsSubmitted  = expvar.NewInt("maxpowerd_jobs_submitted")
-	expJobsCompleted  = expvar.NewInt("maxpowerd_jobs_completed")
-	expJobsFailed     = expvar.NewInt("maxpowerd_jobs_failed")
-	expJobsCancelled  = expvar.NewInt("maxpowerd_jobs_cancelled")
-	expCacheHits      = expvar.NewInt("maxpowerd_population_cache_hits")
-	expCacheMisses    = expvar.NewInt("maxpowerd_population_cache_misses")
+	expJobsSubmitted = expvar.NewInt("maxpowerd_jobs_submitted")
+	expJobsCompleted = expvar.NewInt("maxpowerd_jobs_completed")
+	expJobsFailed    = expvar.NewInt("maxpowerd_jobs_failed")
+	expJobsCancelled = expvar.NewInt("maxpowerd_jobs_cancelled")
+	expCacheHits     = expvar.NewInt("maxpowerd_population_cache_hits")
+	expCacheMisses   = expvar.NewInt("maxpowerd_population_cache_misses")
 	// Kernel-cache counters: compiled simulation programs (circuit +
 	// delay model → flat striped kernel) deduplicated across jobs,
 	// population builds, and fleet shards. CompileNS accumulates the
@@ -21,9 +21,9 @@ var (
 	expKernelHits      = expvar.NewInt("maxpowerd_kernel_cache_hits")
 	expKernelMisses    = expvar.NewInt("maxpowerd_kernel_cache_misses")
 	expKernelCompileNS = expvar.NewInt("maxpowerd_kernel_compile_ns")
-	expPairsSimulated = expvar.NewInt("maxpowerd_pairs_simulated")
-	expUnitsSimulated = expvar.NewInt("maxpowerd_units_simulated")
-	expWorkersBusy    = expvar.NewInt("maxpowerd_workers_busy")
+	expPairsSimulated  = expvar.NewInt("maxpowerd_pairs_simulated")
+	expUnitsSimulated  = expvar.NewInt("maxpowerd_units_simulated")
+	expWorkersBusy     = expvar.NewInt("maxpowerd_workers_busy")
 	// Wall-time split of completed estimation work: simulation
 	// (unit-power draws and population builds) vs Weibull MLE fitting.
 	expSimNS = expvar.NewInt("maxpowerd_sim_ns")
@@ -54,6 +54,14 @@ var (
 	// higher-priority arrivals under overload; rate_limited and
 	// quota_exceeded = refused submissions (429s) split by cause —
 	// submission token bucket vs simulated-units budget.
+	// Speculative-kernel counters: timed stripes run by the
+	// settle-then-patch executor, gate-words patched without event
+	// simulation, and stripes replayed on the full event wheel after a
+	// misprediction (results are bit-identical either way; a rising
+	// fallback share means the speed win is eroding).
+	expSpecStripes   = expvar.NewInt("maxpowerd_spec_stripes")
+	expSpecPatched   = expvar.NewInt("maxpowerd_spec_patched_words")
+	expSpecFallbacks = expvar.NewInt("maxpowerd_spec_fallbacks")
 	expLoadShed      = expvar.NewInt("maxpowerd_load_shed")
 	expRateLimited   = expvar.NewInt("maxpowerd_rate_limited")
 	expQuotaExceeded = expvar.NewInt("maxpowerd_quota_exceeded")

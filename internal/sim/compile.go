@@ -88,6 +88,18 @@ type Program struct {
 	ringW  int
 	occW   int
 
+	// Static hazard analysis (timed programs only): arrT[s] ≥ 0 means
+	// slot s is hazard-free by construction — every fan-in settles its
+	// (at most one) output transition at the same statically known
+	// normalized time, so s itself emits at most one transition, at
+	// arrT[s], in every lane of every stripe. −1 marks slots whose
+	// fan-in arrival times are unknown or unequal: glitches and inertial
+	// pulse swallowing are possible there, and only there. The
+	// speculative engine patches hazard-free slots straight from the
+	// settle diff and runs the waveform merge only over the hazard cone.
+	arrT    []int64
+	hazFree int // slots with arrT ≥ 0
+
 	fp        uint64 // structural fingerprint, see Fingerprint
 	compileNS int64
 }
@@ -322,6 +334,40 @@ func Compile(c *netlist.Circuit, delaysPS []int64, opt CompileOptions) *Program 
 		}
 	}
 
+	// Static hazard frontier: propagate single-transition arrival times
+	// through the levelized slot order. An input toggles at most once, at
+	// t = 0; a gate whose fan-ins all carry known, equal arrival times
+	// toggles at most once, at that time plus its own delay. Everything
+	// else is conservatively hazardous. Delays are lane-invariant, so
+	// this classification holds for every lane of every stripe.
+	var (
+		arrT    []int64
+		hazFree int
+	)
+	if !opt.ZeroDelay {
+		arrT = make([]int64, nLive)
+		for s := range arrT {
+			if fop[s] == fopInput {
+				hazFree++
+				continue // arrT[s] = 0: inputs flip exactly at t = 0
+			}
+			lo, hi := faninOff[s], faninOff[s+1]
+			t := arrT[faninIdx[lo]]
+			for _, f := range faninIdx[lo+1 : hi] {
+				if arrT[f] != t {
+					t = -1
+					break
+				}
+			}
+			if t < 0 {
+				arrT[s] = -1
+				continue
+			}
+			arrT[s] = t + delays[s]
+			hazFree++
+		}
+	}
+
 	p := &Program{
 		c:         c,
 		w:         w,
@@ -341,6 +387,8 @@ func Compile(c *netlist.Circuit, delaysPS []int64, opt CompileOptions) *Program 
 		gcdPS:     gcdPS,
 		ringW:     ringW,
 		occW:      occW,
+		arrT:      arrT,
+		hazFree:   hazFree,
 		fp:        Fingerprint(c, delaysPS, opt),
 	}
 	p.compileNS = time.Since(start).Nanoseconds()
@@ -429,6 +477,13 @@ func (p *Program) LiveGates() int { return p.nLive }
 // GCDps returns the timed kernel's normalization unit in ps (0 for
 // zero-delay programs).
 func (p *Program) GCDps() int64 { return p.gcdPS }
+
+// HazardFree returns how many live slots the static hazard analysis
+// proved single-transition (see Program.arrT) and the live slot total —
+// the compile-time share of the circuit the speculative engine patches
+// without any event-merge work. Zero-delay programs report (0, nLive):
+// the settle kernel is glitch-free everywhere by construction.
+func (p *Program) HazardFree() (free, total int) { return p.hazFree, p.nLive }
 
 // Fingerprint returns the program's structural checksum.
 func (p *Program) Fingerprint() uint64 { return p.fp }

@@ -264,6 +264,20 @@ func (st *Striped) Program() *Program { return st.p }
 // zero-delay programs the two-pass settle kernel. The returned result is
 // reused by the next call (see StripedResult's aliasing contract).
 func (st *Striped) Run(pp *PackedPairs, stripe int) *StripedResult {
+	b0 := st.prepare(pp, stripe)
+	if st.p.zeroDelay {
+		st.runZero(pp, b0)
+	} else {
+		st.runTimed(pp, b0)
+	}
+	return &st.res
+}
+
+// prepare validates the stripe, derives the active word count, and
+// reshapes the run state to it — the shared preamble of Run and the
+// speculative engine (which borrows this executor's settle kernel,
+// counter planes, and result aggregation).
+func (st *Striped) prepare(pp *PackedPairs, stripe int) int {
 	p := st.p
 	if pp.Inputs != p.c.NumInputs() {
 		panic(fmt.Sprintf("sim: packed batch width %d, circuit has %d inputs", pp.Inputs, p.c.NumInputs()))
@@ -312,12 +326,7 @@ func (st *Striped) Run(pp *PackedPairs, stripe int) *StripedResult {
 		}
 		st.lastAW = aw
 	}
-	if p.zeroDelay {
-		st.runZero(pp, b0)
-	} else {
-		st.runTimed(pp, b0)
-	}
-	return &st.res
+	return b0
 }
 
 // loadInputs gathers the stripe's input plane words (blocks b0…b0+aw−1)
@@ -549,7 +558,6 @@ func (st *Striped) runTimed(pp *PackedPairs, b0 int) {
 	// order by a sequential walk of the arena, and an entry whose words all
 	// drained to zero (cancelled or replaced) is skipped without having
 	// held any lane state.
-	stride := st.stride
 	lane := st.LaneStats
 	ew := 1 + aw
 	t := int64(0)
@@ -623,6 +631,17 @@ func (st *Striped) runTimed(pp *PackedPairs, b0 int) {
 		st.evaluateFanouts(changed, cwm, s)
 	}
 
+	st.finalizeTimed()
+}
+
+// finalizeTimed derives the aggregate result views from the toggle
+// planes after a timed run — shared by the event wheel and the
+// speculative waveform engine, which fill the same planes.
+func (st *Striped) finalizeTimed() {
+	p := st.p
+	aw := st.aw
+	stride := st.stride
+	lane := st.LaneStats
 	res := &st.res
 	if lane {
 		for l, sn := range st.settleNorm {
@@ -948,4 +967,3 @@ func (st *Striped) spillToggles(idx int, carry uint64) {
 		carry &= v
 	}
 }
-

@@ -38,6 +38,18 @@ func newEvalEngine(eval *power.Evaluator, workers int) *evalEngine {
 	return e
 }
 
+// specStats sums the speculation counters across the pool's evaluator
+// clones. Callers read it between batches (the pool is quiescent after
+// evaluatePacked returns), so no synchronization is needed beyond the
+// happens-before of the worker WaitGroup.
+func (e *evalEngine) specStats() sim.SpecStats {
+	var agg sim.SpecStats
+	for _, ev := range e.evals {
+		agg.Add(ev.SpecStats())
+	}
+	return agg
+}
+
 // evaluate fills powers[i] with the cycle power (mW) of pairs[i]. The two
 // slices must have equal length. The first simulation error is returned;
 // indices whose chunk errored are left untouched.

@@ -123,6 +123,22 @@ func (s *StreamSource) engine() *evalEngine {
 // Size implements evt.Source.
 func (s *StreamSource) Size() int { return s.DeclaredSize }
 
+// SpecCounters implements evt.EngineStatsSource: cumulative speculation
+// counters summed across the batch engine's evaluator clones (zero when
+// the evaluator runs a non-speculative strategy). The estimator
+// snapshots deltas around each run, so sharing one source across runs
+// attributes counts correctly.
+func (s *StreamSource) SpecCounters() (stripes, patched, fallbacks uint64) {
+	var agg sim.SpecStats
+	if s.eng != nil {
+		agg = s.eng.specStats()
+	}
+	// The scalar entry point (SamplePower) and the serial fallback use
+	// s.eval directly; its counters are disjoint from the clones'.
+	agg.Add(s.eval.SpecStats())
+	return agg.Stripes, agg.PatchedWords, agg.Fallbacks
+}
+
 // Simulated returns the number of pairs simulated so far — the method's
 // real cost counter.
 func (s *StreamSource) Simulated() int64 { return s.simulated.Load() }

@@ -141,11 +141,16 @@ var ErrNoInteriorMax = errors.New("weibull: profile likelihood has no interior m
 type Fitter struct {
 	y, ys, logs []float64
 
-	// shapeEq inputs, hoisted to fields so the closure handed to the
-	// bisection solver is built once per Fitter rather than once per call.
+	// shapeEq inputs, hoisted to fields so the closures handed to the
+	// root solver are built once per Fitter rather than once per call.
 	n      int
 	m, s0  float64
 	shapeF func(float64) float64
+	shapeD func(float64) float64
+	// Derivative cache: shapeF computes f'(α) as a by-product of the
+	// same Exp loop that computes f(α); the solver always asks for the
+	// derivative at the point it just evaluated, so shapeD is a lookup.
+	dAt, dVal float64
 
 	// negProfile inputs for the golden-section refine, same idea.
 	xs       []float64
@@ -205,17 +210,30 @@ func (ft *Fitter) shapeMLE(y []float64, alphaMin float64) (alpha, logBeta float6
 	ft.n, ft.m, ft.s0 = len(y), m, s0
 	if ft.shapeF == nil {
 		ft.shapeF = func(a float64) float64 {
-			var A, B float64
+			var A, B, C float64
 			logs := ft.logs[:ft.n]
 			// yᵢ^α = exp(α·log yᵢ) over the cached logs: Exp costs roughly
-			// half a Pow, and the solver evaluates this sum dozens of times
-			// per fit — the single hottest loop of the estimator tail.
+			// half a Pow, and the solver evaluates this sum a handful of
+			// times per fit — the single hottest loop of the estimator
+			// tail. The derivative terms A' = C and B' = A fall out of the
+			// same loop for two extra multiplies, so Newton steps come at
+			// bisection-step cost.
 			for _, l := range logs {
 				p := math.Exp(a * l)
+				pl := p * l
 				B += p
-				A += p * l
+				A += pl
+				C += pl * l
 			}
+			ft.dAt = a
+			ft.dVal = -ft.m/(a*a) - ft.m*(C*B-A*A)/(B*B)
 			return ft.m/a + ft.s0 - ft.m*A/B
+		}
+		ft.shapeD = func(a float64) float64 {
+			if a != ft.dAt {
+				ft.shapeF(a)
+			}
+			return ft.dVal
 		}
 	}
 	f := ft.shapeF
@@ -235,8 +253,12 @@ func (ft *Fitter) shapeMLE(y []float64, alphaMin float64) (alpha, logBeta float6
 				return 0, 0, false
 			}
 		}
+		// The profile equation is smooth and strictly decreasing in α, so
+		// guarded Newton converges in a handful of iterations where plain
+		// bisection to the same tolerance needs ~40 — and each iteration
+		// is a full Exp sweep over the sample.
 		var err error
-		a, err = stats.Bisect(f, lo, hi, 1e-12)
+		a, err = stats.NewtonBisect(f, ft.shapeD, lo, hi, (lo+hi)/2, 1e-12)
 		if err != nil {
 			return 0, 0, false
 		}

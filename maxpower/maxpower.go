@@ -149,14 +149,19 @@ type KernelCache = sim.ProgramCache
 func NewKernelCache(capacity int) *KernelCache { return sim.NewProgramCache(capacity) }
 
 // kernelEvaluator builds the circuit's power evaluator with the compiled
-// multi-word striped engine enabled, deduplicating the compile through
-// kc when non-nil (nil compiles privately). The cache key is circuit
-// name + delay model — delay assignments are deterministic per model, so
-// the pair pins the program; the fingerprint check inside the cache
-// turns any key collision into a recompile, never a wrong simulation.
+// kernel engine enabled, deduplicating the compile through kc when
+// non-nil (nil compiles privately). The cache key is circuit name +
+// delay model — delay assignments are deterministic per model, so the
+// pair pins the program; the fingerprint check inside the cache turns
+// any key collision into a recompile, never a wrong simulation.
+//
+// Timed stripes run the speculative settle-then-patch executor: it is
+// bit-identical to the event wheel on every delay model (misprediction
+// falls back per stripe, checked exactly) and substantially faster, so
+// it is the library default. Zero-delay programs settle either way.
 func kernelEvaluator(c *netlist.Circuit, model delay.Model, p power.Params, kc *KernelCache) *power.Evaluator {
 	ev := power.NewEvaluator(c, model, p)
-	ev.UseKernels(kc, c.Name+"/"+model.Name())
+	ev.UseSpeculative(kc, c.Name+"/"+model.Name())
 	return ev
 }
 
